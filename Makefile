@@ -1,0 +1,41 @@
+# Reproduction driver targets.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full tables figures examples clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+tables:
+	$(PYTHON) -m repro table1
+	$(PYTHON) -m repro table2
+	$(PYTHON) -m repro table3
+	$(PYTHON) -m repro table4
+
+figures:
+	$(PYTHON) -m repro fig3
+	$(PYTHON) -m repro fig4
+	$(PYTHON) -m repro fig5
+	$(PYTHON) -m repro fig6
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/video_server.py
+	$(PYTHON) examples/failure_recovery.py
+	$(PYTHON) examples/record_store.py
+	$(PYTHON) examples/tape_archive.py
+	$(PYTHON) examples/scaling_study.py
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

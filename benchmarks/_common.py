@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, prints it
+next to the published values, and archives the text under
+``benchmarks/results/``.  Set ``REPRO_BENCH_FULL=1`` for the paper's full
+sample counts and grids (slower); the default is a reduced but
+shape-preserving configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Full fidelity (paper-sized grids) when REPRO_BENCH_FULL=1.
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def scaled(full_value, quick_value):
+    """Pick the full-fidelity or the quick value."""
+    return full_value if FULL else quick_value
+
+
+def archive(name: str, text: str) -> None:
+    """Print a result block and save it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+def format_series(title: str, points, x_label: str, y_label: str,
+                  y_scale: float = 1.0) -> str:
+    """Render FigurePoint lists as per-series tables."""
+    lines = [title, ""]
+    by_series: dict[str, list] = {}
+    for point in points:
+        by_series.setdefault(point.series, []).append(point)
+    for series, series_points in by_series.items():
+        lines.append(f"-- {series}")
+        lines.append(f"   {x_label:>12}  {y_label:>14}")
+        for point in sorted(series_points, key=lambda p: p.x):
+            lines.append(f"   {point.x:>12.2f}  {point.y * y_scale:>14.2f}")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Ablation (§1): "easy expansion and load sharing".
+
+Several clients share the same three storage agents over one Ethernet.
+Two things must hold: the aggregate rises to the interconnect's limit
+(one client alone cannot saturate it — its CPU is part of the Table 1
+bottleneck), and the cable is divided fairly between the clients.
+"""
+
+from _common import archive, scaled
+
+from repro.prototype import PrototypeTestbed
+
+MB = 1 << 20
+
+
+def bench_ablation_load_sharing(benchmark):
+    client_counts = scaled((1, 2, 3, 4), (1, 2, 3))
+    size = 3 * MB
+
+    def run():
+        results = {}
+        for clients in client_counts:
+            testbed = PrototypeTestbed(seed=13)
+            results[clients] = testbed.measure_concurrent_reads(clients, size)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Ablation — load sharing: concurrent clients, 3 shared agents",
+             ""]
+    for clients, result in sorted(results.items()):
+        rates = sorted(result["per_client"].values(), reverse=True)
+        spread = (max(rates) / min(rates) - 1) if min(rates) else 0.0
+        lines.append(
+            f"{clients} client(s): aggregate {result['aggregate']:6.0f} KB/s"
+            f"  per-client {', '.join(f'{r:.0f}' for r in rates)}"
+            f"  (spread {spread:.0%})")
+    lines.append("")
+    lines.append("a second client pushes the shared cable to saturation "
+                 "(the single-client rate was client-CPU-throttled); "
+                 "beyond that the cable is divided almost evenly")
+    archive("ablation_load_sharing", "\n".join(lines))
+
+    single = results[1]["aggregate"]
+    two = results[2]["aggregate"]
+    assert two > 1.2 * single          # expansion works
+    for clients, result in results.items():
+        rates = list(result["per_client"].values())
+        assert max(rates) < 1.15 * min(rates)  # fair sharing
+
+    benchmark.extra_info.update(
+        {f"{clients}_clients": round(result["aggregate"])
+         for clients, result in results.items()})

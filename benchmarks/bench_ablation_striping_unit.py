@@ -1,0 +1,56 @@
+"""Ablation: the storage mediator's striping-unit policy (§2).
+
+Paper: "If the required transfer rate is low, then the striping unit can be
+large ... If the required data-rate is high, then the striping unit will be
+chosen small enough to exploit all the parallelism needed."  On the
+prototype's Ethernet the unit has a second effect: units below the packet
+size fragment the pipeline, while very large units serialise the agents.
+"""
+
+from _common import archive
+
+from repro.prototype import PrototypeTestbed
+
+MB = 1 << 20
+KB = 1 << 10
+
+
+def bench_ablation_striping_unit(benchmark):
+    units = (4 * KB, 8 * KB, 32 * KB, 128 * KB, 256 * KB)
+    SMALL_OBJECT = 384 * KB
+
+    def run():
+        streaming = {}
+        small = {}
+        for unit in units:
+            testbed = PrototypeTestbed(seed=51, striping_unit=unit)
+            testbed.prepare_object("obj", 3 * MB)
+            streaming[unit] = testbed.measure_read("obj", 3 * MB)
+            bed2 = PrototypeTestbed(seed=51, striping_unit=unit)
+            bed2.prepare_object("small", SMALL_OBJECT)
+            small[unit] = bed2.measure_read("small", SMALL_OBJECT)
+        return streaming, small
+
+    streaming, small = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Ablation — read data-rate vs striping unit (3 agents)", "",
+             f"{'unit':>8}  {'3 MB stream':>12}  {'384 KB object':>14}"]
+    for unit in units:
+        lines.append(f"{unit // KB:>6}KB  {streaming[unit]:>10.0f}  "
+                     f"{small[unit]:>12.0f}   (KB/s)")
+    lines.append("")
+    lines.append("units below the packet size waste packets; units that "
+                 "approach the object size serialise the agents — exactly "
+                 "why the mediator sizes the unit from the required rate "
+                 "(§2: high rates get units 'small enough to exploit all "
+                 "the parallelism')")
+    archive("ablation_striping_unit", "\n".join(lines))
+
+    # Streaming: sub-packet units hurt; packet-sized and larger are flat.
+    assert streaming[8 * KB] > 1.05 * streaming[4 * KB]
+    # Small objects: a 256 KB unit leaves agents idle (384 KB spans only
+    # two of three agents, unevenly), so modest units win clearly.
+    assert small[8 * KB] > 1.3 * small[256 * KB]
+
+    benchmark.extra_info.update(
+        {f"{unit // KB}KB": round(rate) for unit, rate in streaming.items()})

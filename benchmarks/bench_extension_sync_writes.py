@@ -1,0 +1,63 @@
+"""Extension: the measurement the paper could not take.
+
+§4: "Measurements of synchronous write operations with the Swift prototype
+have not been obtained at this time.  We encountered a problem with SunOS
+that would not allow us to have the storage agents write synchronously to
+disk due to insufficient buffer space."
+
+Our agents have no such limitation: with write-through agents (each data
+packet forced to disk on arrival), Swift's aggregate write rate barely
+moves — each agent's share of the stream (~290 KB/s) stays under its
+disk's 315 KB/s synchronous rate, so the disks hide behind the network.
+This confirms the paper's §4 argument that "the way in which writes are
+done in the Swift prototype is not the dominant performance factor."
+"""
+
+from _common import archive, scaled
+
+from repro.baselines import NfsBaseline
+from repro.prototype import PrototypeTestbed
+
+MB = 1 << 20
+
+
+def bench_extension_sync_writes(benchmark):
+    size = 3 * MB
+    samples = scaled(4, 2)
+
+    def run():
+        rates = {"async": [], "sync": [], "nfs": []}
+        for sample in range(samples):
+            seed = 90 + sample
+            rates["async"].append(
+                PrototypeTestbed(seed=seed).measure_write("obj", size))
+            rates["sync"].append(
+                PrototypeTestbed(seed=seed, synchronous_agent_writes=True)
+                .measure_write("obj", size))
+            rates["nfs"].append(NfsBaseline(seed=seed).measure_write("f", size))
+        return {key: sum(values) / len(values)
+                for key, values in rates.items()}
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "Extension — Swift with synchronous (write-through) agents",
+        "",
+        f"Swift, async agent writes : {rates['async']:7.0f} KB/s "
+        f"(the paper's Table 1 condition)",
+        f"Swift, SYNC agent writes  : {rates['sync']:7.0f} KB/s "
+        f"(the measurement SunOS prevented)",
+        f"NFS (write-through)       : {rates['nfs']:7.0f} KB/s",
+        "",
+        "per-agent inflow (~290 KB/s) stays below the SCSI disk's 315 KB/s "
+        "sync rate, so write-through costs Swift almost nothing — and the "
+        "like-for-like sync-vs-sync comparison against NFS still shows "
+        f"~{rates['sync'] / rates['nfs']:.0f}x.",
+    ]
+    archive("extension_sync_writes", "\n".join(lines))
+
+    assert rates["sync"] > 0.95 * rates["async"]
+    assert rates["sync"] > 6.0 * rates["nfs"]
+
+    benchmark.extra_info.update(
+        {key: round(value) for key, value in rates.items()})

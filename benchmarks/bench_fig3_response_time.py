@@ -1,0 +1,51 @@
+"""Figure 3: average time to complete a 1 MB client request vs. load.
+
+Paper (M2372K disks: seek 16 ms, rotation 8.3 ms, 2.5 MB/s): larger
+transfer units and more disks cut the response time; 4-disk systems
+saturate quickly; 32 disks sustain ~22 requests/second; response is
+almost flat until the knee.
+"""
+
+from _common import archive, format_series, scaled
+
+from repro.sim import figure3_series
+
+KB = 1 << 10
+
+
+def bench_fig3_response_time(benchmark):
+    rates = scaled((1, 2.5, 5, 7.5, 10, 15, 20, 25, 30), (2, 6, 12, 20))
+    disk_counts = scaled((4, 8, 16, 32), (4, 32))
+    block_sizes = scaled((4 * KB, 16 * KB, 32 * KB), (4 * KB, 32 * KB))
+    num_requests = scaled(400, 200)
+
+    points = benchmark.pedantic(
+        lambda: figure3_series(rates=rates, disk_counts=disk_counts,
+                               block_sizes=block_sizes,
+                               num_requests=num_requests),
+        rounds=1, iterations=1)
+
+    archive("fig3_response_time", format_series(
+        "Figure 3 — mean time to complete a 1 MB request (ms) vs req/s",
+        points, "req/s", "ms"))
+
+    def series_points(name):
+        return sorted((p for p in points if p.series == name),
+                      key=lambda p: p.x)
+
+    # Larger transfer units beat smaller ones at every load (seek+rotation
+    # amortisation, §5.2).
+    small = series_points(f"{4}KB blocks, 32 disks")
+    large = series_points(f"{32}KB blocks, 32 disks")
+    for s, l in zip(small, large):
+        assert l.y < s.y, "32KB blocks must finish 1 MB faster than 4KB"
+
+    # 4 disks saturate quickly: their curve blows past 32 disks' early.
+    few = series_points(f"{32}KB blocks, 4 disks")
+    many = series_points(f"{32}KB blocks, 32 disks")
+    assert few[-1].y > 3 * many[-1].y
+
+    # Response near-flat for 32 disks until the knee (§5.2).
+    assert many[1].y < 2.5 * many[0].y
+
+    benchmark.extra_info["points"] = len(points)

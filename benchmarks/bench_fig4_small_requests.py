@@ -1,0 +1,40 @@
+"""Figure 4: 128 KB requests on a slower (1.5 MB/s) disk, 4 KB units.
+
+Paper: with small transfer units seek time dominates; adding disks raises
+the sustainable request rate almost linearly, and single-disk systems
+saturate almost immediately.
+"""
+
+from _common import archive, format_series, scaled
+
+from repro.sim import figure4_series
+
+
+def bench_fig4_small_requests(benchmark):
+    rates = scaled((1, 2.5, 5, 10, 15, 20, 25, 30, 35, 40), (2, 8, 16, 28))
+    disk_counts = scaled((1, 2, 4, 8, 16, 32), (1, 4, 32))
+    num_requests = scaled(400, 200)
+
+    points = benchmark.pedantic(
+        lambda: figure4_series(rates=rates, disk_counts=disk_counts,
+                               num_requests=num_requests),
+        rounds=1, iterations=1)
+
+    archive("fig4_small_requests", format_series(
+        "Figure 4 — mean time to complete a 128 KB request (ms) vs req/s",
+        points, "req/s", "ms"))
+
+    def last_of(name):
+        return max((p for p in points if p.series == name),
+                   key=lambda p: p.x)
+
+    def first_of(name):
+        return min((p for p in points if p.series == name),
+                   key=lambda p: p.x)
+
+    # One disk saturates at once; 32 disks stay close to their zero-load
+    # response across the plotted range.
+    assert last_of("1 disk").y > 5 * last_of("32 disks").y
+    assert last_of("32 disks").y < 4 * first_of("32 disks").y
+
+    benchmark.extra_info["points"] = len(points)

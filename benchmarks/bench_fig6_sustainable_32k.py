@@ -1,0 +1,58 @@
+"""Figure 6: maximum sustainable client data-rate, 1 MB / 32 KB units.
+
+Paper: ~12 MB/s for 32 disks — "the increase in effective data-rate is
+almost linear in the size of the transfer unit" (≈6x over Figure 5's 4 KB
+units for the same disks).
+"""
+
+from _common import archive, format_series, scaled
+
+from repro.sim import figure5_series, figure6_series
+
+
+def bench_fig6_sustainable_32k(benchmark):
+    disk_counts = scaled((1, 2, 4, 8, 16, 32), (2, 8, 32))
+    disk_names = scaled(
+        ("IBM 3380K", "Fujitsu M2361A", "Fujitsu M2351A", "Wren V",
+         "Fujitsu M2372K", "DEC RA82"),
+        ("IBM 3380K", "Fujitsu M2372K", "DEC RA82"))
+    num_requests = scaled(250, 120)
+    iterations = scaled(8, 6)
+
+    points = benchmark.pedantic(
+        lambda: figure6_series(disk_counts=disk_counts,
+                               disk_names=disk_names,
+                               num_requests=num_requests,
+                               iterations=iterations),
+        rounds=1, iterations=1)
+
+    archive("fig6_sustainable_32k", format_series(
+        "Figure 6 — max sustainable data-rate (MB/s), 1 MB req / 32 KB unit",
+        points, "disks", "MB/s", y_scale=1e-6))
+
+    by = {(p.series, p.x): p.y for p in points}
+    top = max(disk_counts)
+
+    if top == 32:
+        anchor = by[("Fujitsu M2372K", 32)]
+        # Paper's eyeballed ~12 MB/s; we accept the 8-14 band.
+        assert 8e6 < anchor < 14e6, f"32-disk anchor {anchor/1e6:.2f} MB/s"
+
+    # Monotone in disks, 3380K above RA82 (as in Figure 5).
+    for name in disk_names:
+        series = sorted((p for p in points if p.series == name),
+                        key=lambda p: p.x)
+        values = [p.y for p in series]
+        assert values == sorted(values), f"{name} not monotone"
+    for disks in disk_counts:
+        assert by[("IBM 3380K", disks)] > by[("DEC RA82", disks)]
+
+    # The unit-scaling claim: 32 KB units deliver several times the 4 KB
+    # rate on the same configuration.
+    fig5_point = figure5_series(disk_counts=(8,),
+                                disk_names=("Fujitsu M2372K",),
+                                num_requests=num_requests,
+                                iterations=iterations)[0]
+    assert by[("Fujitsu M2372K", 8)] > 3.5 * fig5_point.y
+
+    benchmark.extra_info["points"] = len(points)

@@ -1,0 +1,33 @@
+"""Table 2: local SCSI disk data-rates (synchronous mode, cold cache).
+
+Paper: read 654-682 KB/s, write 314-316 KB/s on the SLC's local disk.
+"""
+
+from _common import archive, scaled
+
+from repro.prototype import (
+    PAPER_TABLE2,
+    format_comparison,
+    format_table,
+    run_scsi_table,
+)
+
+
+def bench_table2_local_scsi(benchmark):
+    sizes = scaled((3, 6, 9), (3, 9))
+    samples = scaled(8, 4)
+
+    rows = benchmark.pedantic(
+        lambda: run_scsi_table(sizes_mb=sizes, samples=samples),
+        rounds=1, iterations=1)
+
+    text = "\n\n".join([
+        format_table("Table 2 — local SCSI (KB/s)", rows),
+        format_comparison("Table 2 — measured vs paper", rows, PAPER_TABLE2),
+    ])
+    archive("table2_local_scsi", text)
+
+    for label, samples_set in rows.items():
+        ratio = samples_set.mean / PAPER_TABLE2[label]
+        benchmark.extra_info[label] = round(samples_set.mean)
+        assert 0.90 <= ratio <= 1.10, f"{label}: {ratio:.2f}x paper"

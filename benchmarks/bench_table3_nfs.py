@@ -1,0 +1,34 @@
+"""Table 3: NFS data-rates over the shared departmental Ethernet.
+
+Paper: read 456-488 KB/s; write 109-112 KB/s (the server's write-through
+policy makes writes ~4x slower than reads).
+"""
+
+from _common import archive, scaled
+
+from repro.prototype import (
+    PAPER_TABLE3,
+    format_comparison,
+    format_table,
+    run_nfs_table,
+)
+
+
+def bench_table3_nfs(benchmark):
+    sizes = scaled((3, 6, 9), (3, 9))
+    samples = scaled(8, 4)
+
+    rows = benchmark.pedantic(
+        lambda: run_nfs_table(sizes_mb=sizes, samples=samples),
+        rounds=1, iterations=1)
+
+    text = "\n\n".join([
+        format_table("Table 3 — NFS (KB/s)", rows),
+        format_comparison("Table 3 — measured vs paper", rows, PAPER_TABLE3),
+    ])
+    archive("table3_nfs", text)
+
+    for label, samples_set in rows.items():
+        ratio = samples_set.mean / PAPER_TABLE3[label]
+        benchmark.extra_info[label] = round(samples_set.mean)
+        assert 0.85 <= ratio <= 1.15, f"{label}: {ratio:.2f}x paper"

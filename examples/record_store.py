@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Small objects on Swift: a record store over the buffered layer.
+
+§7: "Even though Swift was designed with very large objects in mind, it
+can also handle small objects, such as those encountered in normal file
+systems.  The penalties incurred are one round trip time for a short
+network message..."
+
+Per-record round trips would make a record-at-a-time workload miserable;
+the :class:`~repro.core.buffered.BufferedSwiftFile` write-behind /
+read-ahead layer coalesces them.  This example appends 5 000 fixed-size
+records both ways and counts the protocol packets each approach costs.
+
+Run:  python examples/record_store.py
+"""
+
+import struct
+
+from repro import build_local_swift
+from repro.core import BufferedSwiftFile
+
+RECORD_SIZE = 100
+NUM_RECORDS = 5_000
+
+
+def make_record(index: int) -> bytes:
+    header = struct.pack(">I", index)
+    return header + bytes((index + j) % 256 for j in range(RECORD_SIZE - 4))
+
+
+def append_records(handle) -> int:
+    for index in range(NUM_RECORDS):
+        handle.write(make_record(index))
+    if hasattr(handle, "flush"):
+        handle.flush()
+    return handle.raw.stats.packets_sent if hasattr(handle, "raw") \
+        else handle.stats.packets_sent
+
+
+def main() -> None:
+    deployment = build_local_swift(num_agents=3)
+    client = deployment.client()
+
+    plain = client.open("plain-log", "w")
+    plain_packets = append_records(plain)
+
+    buffered = BufferedSwiftFile(client.open("buffered-log", "w"),
+                                 buffer_size=64 * 1024)
+    buffered_packets = append_records(buffered)
+
+    print(f"{NUM_RECORDS} x {RECORD_SIZE}-byte records appended")
+    print(f"  unbuffered : {plain_packets:>6} packets "
+          f"({plain_packets / NUM_RECORDS:.1f} per record)")
+    print(f"  buffered   : {buffered_packets:>6} packets "
+          f"({buffered_packets / NUM_RECORDS:.2f} per record)")
+    print(f"  coalescing factor: {plain_packets / buffered_packets:.0f}x")
+    print()
+
+    # Random record lookups through the read-ahead buffer.
+    buffered.seek(0)
+    for index in (0, 17, 4_999, 2_500):
+        buffered.seek(index * RECORD_SIZE)
+        record = buffered.read(RECORD_SIZE)
+        stored = struct.unpack(">I", record[:4])[0]
+        assert stored == index, (stored, index)
+        print(f"  record {index:>5}: OK")
+
+    plain.close()
+    buffered.close()
+    print()
+    print("sequential small I/O belongs behind a buffer; Swift's round "
+          "trips are then paid per 64 KB, not per record (§7)")
+
+
+if __name__ == "__main__":
+    main()

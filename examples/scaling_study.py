@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""A miniature of the paper's two evaluations, runnable in seconds.
+
+Part 1 replays the §4 prototype measurements (Swift vs local SCSI vs NFS,
+then a second Ethernet) at reduced sample counts; part 2 runs the §5
+token-ring simulation showing data-rate scaling in disks and transfer
+units.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.baselines import LocalScsiBaseline, NfsBaseline
+from repro.prototype import PrototypeTestbed
+from repro.sim import SimConfig, find_max_sustainable
+
+MB = 1 << 20
+KB = 1 << 10
+
+
+def part1_prototype() -> None:
+    print("=" * 64)
+    print("Part 1 — the Ethernet prototype (3 MB transfers, KB/s)")
+    print("=" * 64)
+
+    swift = PrototypeTestbed(seed=7)
+    swift.prepare_object("obj", 3 * MB)
+    swift_read = swift.measure_read("obj", 3 * MB)
+    swift_write = PrototypeTestbed(seed=7).measure_write("obj", 3 * MB)
+
+    scsi = LocalScsiBaseline(seed=7)
+    scsi.prepare_file("f", 3 * MB)
+    scsi_read = scsi.measure_read("f", 3 * MB)
+    scsi_write = LocalScsiBaseline(seed=7).measure_write("f", 3 * MB)
+
+    nfs = NfsBaseline(seed=7)
+    nfs.prepare_file("f", 3 * MB)
+    nfs_read = nfs.measure_read("f", 3 * MB)
+    nfs_write = NfsBaseline(seed=7).measure_write("f", 3 * MB)
+
+    print(f"{'system':<12} {'read':>8} {'write':>8}")
+    print(f"{'Swift (3)':<12} {swift_read:>8.0f} {swift_write:>8.0f}")
+    print(f"{'local SCSI':<12} {scsi_read:>8.0f} {scsi_write:>8.0f}")
+    print(f"{'NFS':<12} {nfs_read:>8.0f} {nfs_write:>8.0f}")
+    print()
+    print(f"Swift vs SCSI write: {swift_write / scsi_write:.1f}x "
+          f"(paper: ~2.8x)")
+    print(f"Swift vs NFS  write: {swift_write / nfs_write:.1f}x "
+          f"(paper: ~8x)")
+    print(f"Swift vs NFS  read : {swift_read / nfs_read:.1f}x "
+          f"(paper: ~1.9x)")
+
+    dual = PrototypeTestbed(seed=7, second_ethernet=True)
+    dual.prepare_object("obj", 3 * MB)
+    dual_read = dual.measure_read("obj", 3 * MB)
+    dual_write = PrototypeTestbed(seed=7, second_ethernet=True) \
+        .measure_write("obj", 3 * MB)
+    print()
+    print(f"with a second Ethernet: read {dual_read:.0f} "
+          f"(+{dual_read / swift_read - 1:.0%}), "
+          f"write {dual_write:.0f} (+{dual_write / swift_write - 1:.0%})")
+    print("(paper: reads +~25%, writes almost doubled)")
+
+
+def part2_simulation() -> None:
+    print()
+    print("=" * 64)
+    print("Part 2 — the gigabit token-ring simulation (max sustainable)")
+    print("=" * 64)
+    print(f"{'disks':>6} {'4KB unit':>12} {'32KB unit':>12}   (MB/s)")
+    for disks in (2, 8, 32):
+        row = []
+        for unit in (4 * KB, 32 * KB):
+            config = SimConfig(num_disks=disks, transfer_unit=unit,
+                               request_size=128 * KB if unit == 4 * KB
+                               else 1 * MB,
+                               num_requests=150, warmup_requests=15, seed=7)
+            result = find_max_sustainable(config, iterations=6)
+            row.append(result.client_data_rate / 1e6)
+        print(f"{disks:>6} {row[0]:>12.2f} {row[1]:>12.2f}")
+    print()
+    print("the data-rate scales with both the number of storage agents and")
+    print("the transfer unit — §5.2's conclusion")
+
+
+def main() -> None:
+    part1_prototype()
+    part2_simulation()
+
+
+if __name__ == "__main__":
+    main()

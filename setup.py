@@ -1,0 +1,14 @@
+"""Legacy setup shim.
+
+The project is configured in pyproject.toml; this file exists so that
+fully offline environments (no `wheel` package available, so PEP 660
+editable installs fail) can still do::
+
+    python setup.py develop --user
+
+which needs only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""repro — a reproduction of the Swift distributed-striping architecture.
+
+Cabrera & Long, *Exploiting Multiple I/O Streams to Provide High
+Data-Rates*, USENIX 1991.
+
+Quick start::
+
+    from repro import build_local_swift
+
+    deployment = build_local_swift(num_agents=3)
+    client = deployment.client()
+    with client.open("movie", "w") as f:
+        f.write(b"frame data ...")
+
+Package map:
+
+* :mod:`repro.des` — discrete-event simulation kernel
+* :mod:`repro.simdisk` — disks, buffer cache, block file system
+* :mod:`repro.simnet` — Ethernet / token-ring media, hosts, sockets
+* :mod:`repro.core` — the Swift architecture itself
+* :mod:`repro.baselines` — local SCSI and NFS comparators
+* :mod:`repro.prototype` — the §3-§4 Ethernet testbed (Tables 1-4)
+* :mod:`repro.sim` — the §5 token-ring simulation study (Figures 3-6)
+"""
+
+from .core import (
+    AdmissionError,
+    BufferedSwiftFile,
+    AgentFailure,
+    DistributionAgent,
+    ObjectNotFound,
+    SessionClosed,
+    StorageAgent,
+    StorageMediator,
+    StripeLayout,
+    SwiftClient,
+    SwiftDeployment,
+    SwiftError,
+    SwiftFile,
+    TransferError,
+    TransferPlan,
+    build_local_swift,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_local_swift",
+    "SwiftDeployment",
+    "SwiftClient",
+    "SwiftFile",
+    "BufferedSwiftFile",
+    "SwiftError",
+    "StorageAgent",
+    "StorageMediator",
+    "StripeLayout",
+    "DistributionAgent",
+    "TransferPlan",
+    "AdmissionError",
+    "AgentFailure",
+    "ObjectNotFound",
+    "SessionClosed",
+    "TransferError",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""Result rendering: terminal charts and CSV export."""
+
+from .ascii_chart import render_chart
+from .export import figure_points_to_csv, table_to_csv, write_csv
+
+__all__ = [
+    "render_chart",
+    "table_to_csv",
+    "figure_points_to_csv",
+    "write_csv",
+]

@@ -1,0 +1,93 @@
+"""Terminal line charts for the reproduced figures.
+
+No plotting dependency is available offline, so the figure benchmarks and
+the CLI render series as ASCII charts — good enough to eyeball the knees
+and crossovers the paper's figures show.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_chart"]
+
+#: Symbols assigned to series, in order.
+_MARKS = "o*x+#@%&"
+
+
+def _format_number(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e6:
+        return f"{value / 1e6:.3g}M"
+    if magnitude >= 1e3:
+        return f"{value / 1e3:.3g}k"
+    if magnitude >= 1:
+        return f"{value:.3g}"
+    return f"{value:.2g}"
+
+
+def render_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = 64,
+    height: int = 20,
+    y_max: float | None = None,
+) -> str:
+    """Render named (x, y) series as a text chart.
+
+    ``y_max`` clips the vertical range (the paper's figures do the same:
+    saturated curves run off the top of the chart).
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ValueError("chart too small to be legible")
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        raise ValueError("all series are empty")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low = 0.0
+    y_high = y_max if y_max is not None else max(ys)
+    if y_high <= y_low:
+        y_high = y_low + 1.0
+    if x_high <= x_low:
+        x_high = x_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, mark: str) -> None:
+        column = round((x - x_low) / (x_high - x_low) * (width - 1))
+        clipped = min(y, y_high)
+        row = round((clipped - y_low) / (y_high - y_low) * (height - 1))
+        grid[height - 1 - row][column] = mark
+
+    legend = []
+    for index, (name, values) in enumerate(series.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        legend.append(f"{mark} = {name}")
+        for x, y in values:
+            place(x, y, mark if y <= y_high else "^")
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = _format_number(y_high)
+    lines.append(f"{top_label:>8} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " │" + "".join(row))
+    bottom_label = _format_number(y_low)
+    lines.append(f"{bottom_label:>8} ┤" + "".join(grid[-1]))
+    lines.append(" " * 8 + " └" + "─" * width)
+    left = _format_number(x_low)
+    right = _format_number(x_high)
+    padding = max(1, width - len(left) - len(right))
+    lines.append(" " * 10 + left + " " * padding + right)
+    lines.append(f"{'':>10}{x_label}  (y: {y_label}; ^ = clipped)")
+    lines.extend("  " + entry for entry in legend)
+    return "\n".join(lines)

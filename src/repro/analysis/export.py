@@ -1,0 +1,53 @@
+"""CSV export of tables and figure series (for external plotting)."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Mapping
+
+from ..des import SampleSet
+
+__all__ = ["table_to_csv", "figure_points_to_csv", "write_csv"]
+
+
+def table_to_csv(rows: Mapping[str, SampleSet],
+                 confidence: float = 0.90) -> str:
+    """One CSV line per table row: the paper's columns."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["operation", "mean", "stdev", "min", "max",
+                     "ci_low", "ci_high", "samples"])
+    for name, samples in rows.items():
+        row = samples.row(confidence)
+        writer.writerow([
+            name,
+            f"{row['mean']:.2f}", f"{row['stdev']:.3f}",
+            f"{row['min']:.2f}", f"{row['max']:.2f}",
+            f"{row['ci_low']:.2f}", f"{row['ci_high']:.2f}",
+            len(samples),
+        ])
+    return buffer.getvalue()
+
+
+def figure_points_to_csv(points: Iterable) -> str:
+    """One CSV line per figure point, with the run diagnostics."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["series", "x", "y", "sustainable", "completed",
+                     "disk_utilization", "ring_utilization"])
+    for point in points:
+        result = point.result
+        writer.writerow([
+            point.series, point.x, f"{point.y:.4f}",
+            result.sustainable, result.completed,
+            f"{result.mean_disk_utilization:.4f}",
+            f"{result.ring_utilization:.4f}",
+        ])
+    return buffer.getvalue()
+
+
+def write_csv(path, text: str) -> None:
+    """Write exported CSV text to a file path."""
+    with open(path, "w", newline="") as handle:
+        handle.write(text)

@@ -1,0 +1,6 @@
+"""The comparators the paper measures Swift against (Tables 2 and 3)."""
+
+from .local_scsi import LocalScsiBaseline
+from .nfs import NfsBaseline
+
+__all__ = ["LocalScsiBaseline", "NfsBaseline"]

@@ -1,0 +1,78 @@
+"""The local-SCSI baseline of Table 2.
+
+§4: "The measurements for a local SCSI disk connected to a Sun 4/20 (SLC)
+with 16 megabytes of memory under SunOS 4.1.1 ... All measurements were
+taken with a cold cache. ... All write operations to the SCSI disk were
+done synchronously."
+"""
+
+from __future__ import annotations
+
+from ..des import Environment, StreamFactory
+from ..simdisk import LocalFileSystem, ScsiMode, make_scsi_filesystem
+
+__all__ = ["LocalScsiBaseline"]
+
+KILOBYTE = 1 << 10
+
+
+class LocalScsiBaseline:
+    """Sequential file I/O on a host's local SCSI disk."""
+
+    def __init__(self, seed: int = 0, mode: ScsiMode = ScsiMode.SYNCHRONOUS,
+                 disk_model: str = "Sun 104MB SCSI"):
+        self.env = Environment()
+        streams = StreamFactory(seed)
+        self.filesystem: LocalFileSystem = make_scsi_filesystem(
+            self.env, disk_model=disk_model, mode=mode,
+            stream=streams.stream("scsi-disk"))
+
+    # -- workloads ------------------------------------------------------------
+
+    def _run(self, generator):
+        return self.env.run(until=self.env.process(generator))
+
+    def prepare_file(self, name: str, size: int) -> None:
+        """Create the file contents without timing them (setup phase)."""
+        def setup():
+            self.filesystem.create(name)
+            yield from self.filesystem.write(name, 0, b"\xA5" * size)
+
+        self._run(setup())
+        self.filesystem.flush_cache()  # the /etc/umount cold-cache trick
+
+    def measure_read(self, name: str, size: int,
+                     chunk: int = 8192) -> float:
+        """Sequential cold-cache read; returns the data-rate in KB/s."""
+        self.filesystem.flush_cache()
+        start = self.env.now
+
+        def workload():
+            position = 0
+            while position < size:
+                data = yield from self.filesystem.read(
+                    name, position, min(chunk, size - position))
+                position += len(data)
+
+        self._run(workload())
+        elapsed = self.env.now - start
+        return size / KILOBYTE / elapsed
+
+    def measure_write(self, name: str, size: int,
+                      chunk: int = 8192) -> float:
+        """Sequential synchronous write; returns the data-rate in KB/s."""
+        start = self.env.now
+
+        def workload():
+            self.filesystem.create(name)
+            position = 0
+            payload = b"\x5A" * chunk
+            while position < size:
+                span = min(chunk, size - position)
+                yield from self.filesystem.write(
+                    name, position, payload[:span], sync=True)
+                position += span
+
+        self._run(workload())
+        elapsed = self.env.now - start
+        return size / KILOBYTE / elapsed

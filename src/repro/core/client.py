@@ -1,0 +1,296 @@
+"""The client library: Swift files with Unix semantics.
+
+§3: "Clients are provided with open, close, read, write and seek operations
+that have Unix file system semantics."
+
+Two calling styles are offered:
+
+* **process style** (``read_p``, ``write_p``, ...) for code running inside
+  the simulation (the testbed, benchmarks) — generator methods you
+  ``yield from``;
+* **synchronous style** (``read``, ``write``, ...) for examples and
+  interactive use — each call drives the simulation until the operation
+  completes.  Only valid when the caller is not itself a simulation
+  process.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..des import Environment
+from ..simnet import Host
+from .distribution import DistributionAgent
+from .errors import SessionClosed, SwiftError
+from .mediator import StorageMediator
+from .namespace import NamespaceClient
+from .session import Session
+from .transfer_plan import TransferPlan
+
+__all__ = ["SwiftFile", "SwiftClient"]
+
+
+class SwiftFile:
+    """An open Swift object with a file position (Unix semantics)."""
+
+    def __init__(self, engine: DistributionAgent,
+                 session: Optional[Session] = None):
+        self._engine = engine
+        self._session = session
+        self._position = 0
+        self._closed = False
+
+    # -- metadata ---------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The object's name."""
+        return self._engine.object_name
+
+    @property
+    def size(self) -> int:
+        """Current object size in bytes."""
+        return self._engine.size
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def stats(self):
+        """Transfer statistics accumulated by the distribution agent."""
+        return self._engine.stats
+
+    @property
+    def engine(self) -> DistributionAgent:
+        """The underlying distribution agent (for failure injection etc.)."""
+        return self._engine
+
+    def tell(self) -> int:
+        """Current file position."""
+        return self._position
+
+    # -- process-style operations ----------------------------------------------------
+
+    def read_p(self, nbytes: int):
+        """Process method: read up to ``nbytes`` at the current position."""
+        self._require_open()
+        data = yield from self._engine.read(self._position, nbytes)
+        self._position += len(data)
+        return data
+
+    def write_p(self, data: bytes):
+        """Process method: write ``data`` at the current position."""
+        self._require_open()
+        written = yield from self._engine.write(self._position, data)
+        self._position += written
+        return written
+
+    def pread_p(self, offset: int, nbytes: int):
+        """Process method: positional read (does not move the position)."""
+        self._require_open()
+        return (yield from self._engine.read(offset, nbytes))
+
+    def pwrite_p(self, offset: int, data: bytes):
+        """Process method: positional write (does not move the position)."""
+        self._require_open()
+        return (yield from self._engine.write(offset, data))
+
+    def close_p(self):
+        """Process method: close every channel and the session."""
+        if self._closed:
+            yield self._engine.env.timeout(0.0)
+            return
+        self._closed = True
+        yield from self._engine.close()
+        if self._session is not None:
+            self._session.close()
+
+    # -- seek is pure bookkeeping -------------------------------------------------------
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:
+        """Move the file position; returns the new position."""
+        self._require_open()
+        if whence == os.SEEK_SET:
+            target = offset
+        elif whence == os.SEEK_CUR:
+            target = self._position + offset
+        elif whence == os.SEEK_END:
+            target = self.size + offset
+        else:
+            raise ValueError(f"bad whence {whence}")
+        if target < 0:
+            raise ValueError("cannot seek before the start of the file")
+        self._position = target
+        return target
+
+    # -- synchronous facade ---------------------------------------------------------------
+
+    def read(self, nbytes: int) -> bytes:
+        """Read up to ``nbytes``, driving the simulation to completion."""
+        return self._drive(self.read_p(nbytes))
+
+    def write(self, data: bytes) -> int:
+        """Write ``data``, driving the simulation to completion."""
+        return self._drive(self.write_p(data))
+
+    def pread(self, offset: int, nbytes: int) -> bytes:
+        """Positional read, synchronous."""
+        return self._drive(self.pread_p(offset, nbytes))
+
+    def pwrite(self, offset: int, data: bytes) -> int:
+        """Positional write, synchronous."""
+        return self._drive(self.pwrite_p(offset, data))
+
+    def close(self) -> None:
+        """Close, synchronous."""
+        self._drive(self.close_p())
+
+    def __enter__(self) -> "SwiftFile":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if not self._closed:
+            self.close()
+
+    # -- plumbing ------------------------------------------------------------------------
+
+    def _drive(self, generator):
+        env = self._engine.env
+        if env.active_process is not None:
+            raise SwiftError(
+                "synchronous SwiftFile calls cannot be used inside a "
+                "simulation process; use the *_p process methods")
+        return env.run(until=env.process(generator))
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise SessionClosed(self.name)
+
+
+class SwiftClient:
+    """Entry point: opens Swift objects, negotiating with the mediator."""
+
+    def __init__(self, env: Environment, host: Host,
+                 mediator: Optional[StorageMediator] = None,
+                 default_agents: Optional[list[str]] = None,
+                 packet_size: int = 8192,
+                 **engine_options):
+        if mediator is None and not default_agents:
+            raise ValueError("need a mediator or an explicit agent list")
+        self.env = env
+        self.host = host
+        self.mediator = mediator
+        self.default_agents = list(default_agents or [])
+        self.packet_size = packet_size
+        self.engine_options = engine_options
+
+    # -- opening ----------------------------------------------------------------------
+
+    def open_p(self, name: str, mode: str = "r", data_rate: float = 0.0,
+               object_size: int = 0, parity: bool = False,
+               striping_unit: Optional[int] = None):
+        """Process method: open a Swift object.
+
+        ``mode``: ``"r"`` (must exist), ``"w"`` (create, truncate),
+        ``"rw"`` (create if missing).  ``data_rate`` and ``object_size``
+        feed the mediator's admission control; with no mediator they are
+        ignored and the default agent list is used.
+        """
+        if mode not in ("r", "w", "rw"):
+            raise ValueError(f"bad mode {mode!r}")
+        session = None
+        if self.mediator is not None:
+            session = self.mediator.negotiate(
+                name, object_size, data_rate=data_rate, parity=parity,
+                striping_unit=striping_unit)
+            plan = session.plan
+        else:
+            plan = TransferPlan(
+                object_name=name,
+                agent_hosts=tuple(self.default_agents),
+                striping_unit=striping_unit or self.packet_size,
+                packet_size=self.packet_size,
+                parity=parity,
+            )
+        engine = DistributionAgent(
+            self.env, self.host,
+            agent_hosts=list(plan.agent_hosts),
+            object_name=plan.object_name,
+            striping_unit=plan.striping_unit,
+            packet_size=plan.packet_size,
+            parity=plan.parity,
+            **self.engine_options,
+        )
+        try:
+            yield from engine.open(create=mode in ("w", "rw"),
+                                   truncate=mode == "w")
+        except SwiftError:
+            if session is not None:
+                session.close()
+            raise
+        return SwiftFile(engine, session)
+
+    def open(self, name: str, mode: str = "r", **kwargs) -> SwiftFile:
+        """Synchronous open (see :meth:`open_p`)."""
+        return self._drive(self.open_p(name, mode, **kwargs))
+
+    # -- namespace operations ------------------------------------------------------
+
+    def _all_agents(self) -> list[str]:
+        if self.mediator is not None:
+            return self.mediator.agent_names
+        return list(self.default_agents)
+
+    def _namespace(self) -> NamespaceClient:
+        return NamespaceClient(self.env, self.host, self._all_agents())
+
+    def remove_p(self, name: str):
+        """Process method: delete an object from every agent.
+
+        Returns True if the object existed anywhere.
+        """
+        namespace = self._namespace()
+        try:
+            existed = yield from namespace.remove(name)
+        finally:
+            namespace.close()
+        if self.mediator is not None:
+            self.mediator.forget(name)
+        return existed
+
+    def list_objects_p(self):
+        """Process method: sorted names of every stored object."""
+        namespace = self._namespace()
+        try:
+            return (yield from namespace.list_objects())
+        finally:
+            namespace.close()
+
+    def exists_p(self, name: str):
+        """Process method: True if the object is stored anywhere."""
+        namespace = self._namespace()
+        try:
+            return (yield from namespace.exists(name))
+        finally:
+            namespace.close()
+
+    def remove(self, name: str) -> bool:
+        """Synchronous :meth:`remove_p`."""
+        return self._drive(self.remove_p(name))
+
+    def list_objects(self) -> list:
+        """Synchronous :meth:`list_objects_p`."""
+        return self._drive(self.list_objects_p())
+
+    def exists(self, name: str) -> bool:
+        """Synchronous :meth:`exists_p`."""
+        return self._drive(self.exists_p(name))
+
+    def _drive(self, generator):
+        if self.env.active_process is not None:
+            raise SwiftError(
+                "synchronous SwiftClient calls cannot be used inside a "
+                "simulation process; use the *_p process methods")
+        return self.env.run(until=self.env.process(generator))

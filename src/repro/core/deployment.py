@@ -1,0 +1,157 @@
+"""Deployment builders: wire a complete Swift system in one call.
+
+:func:`build_local_swift` creates an "instant" deployment — a loopback
+interconnect with negligible latency and zero host CPU cost — intended for
+functional use of the library (examples, correctness tests): real bytes
+flow through the real protocol, striping and parity code, but simulated
+time is essentially free.
+
+The *timed* deployments used for performance measurement live in
+:mod:`repro.prototype.testbed` (the Ethernet lab of §3-§4) and
+:mod:`repro.sim.model` (the token-ring study of §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..des import Environment, StreamFactory
+from ..simdisk import Disk, DiskSpec, LocalFileSystem
+from ..simnet import Medium, Network
+from .client import SwiftClient
+from .mediator import StorageMediator
+from .storage_agent import StorageAgent
+
+__all__ = ["SwiftDeployment", "LoopbackMedium", "build_local_swift"]
+
+#: An effectively-free disk for functional deployments.
+INSTANT_DISK = DiskSpec(
+    name="instant",
+    avg_seek_s=0.0,
+    avg_rotation_s=0.0,
+    transfer_rate=1e15,
+    capacity_bytes=1 << 40,
+)
+
+
+class LoopbackMedium(Medium):
+    """A near-instant interconnect for functional (untimed) deployments."""
+
+    #: One nanosecond per transmission keeps event ordering sane without
+    #: contributing measurable simulated time.
+    LATENCY_S = 1e-9
+
+    def transmission_time(self, size: int) -> float:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        return self.LATENCY_S
+
+    def nominal_capacity(self) -> float:
+        return float("inf")
+
+
+@dataclass
+class SwiftDeployment:
+    """A wired-up Swift system: environment, network, agents, mediator."""
+
+    env: Environment
+    network: Network
+    mediator: StorageMediator
+    agents: dict[str, StorageAgent]
+    client_host_name: str
+    packet_size: int
+    streams: StreamFactory = field(default_factory=StreamFactory)
+
+    def client(self, **engine_options) -> SwiftClient:
+        """A client wired to this deployment's mediator."""
+        return SwiftClient(
+            self.env,
+            self.network.host(self.client_host_name),
+            mediator=self.mediator,
+            packet_size=self.packet_size,
+            **engine_options,
+        )
+
+    def direct_client(self, agent_names: list[str] | None = None,
+                      **engine_options) -> SwiftClient:
+        """A client that bypasses the mediator (the prototype style)."""
+        return SwiftClient(
+            self.env,
+            self.network.host(self.client_host_name),
+            default_agents=agent_names or sorted(self.agents),
+            packet_size=self.packet_size,
+            **engine_options,
+        )
+
+    def agent(self, name: str) -> StorageAgent:
+        """Look up a storage agent by host name."""
+        return self.agents[name]
+
+    def crash_agent(self, name: str) -> None:
+        """Fault injection: the named agent stops responding."""
+        self.agents[name].crash()
+
+    def replace_agent(self, name: str) -> StorageAgent:
+        """Bring up a fresh agent (empty file system) on the same host name.
+
+        Models repairing a failed server: same address, blank disk.  The
+        client then uses :meth:`DistributionAgent.rebuild_agent` to refill
+        it from redundancy.
+        """
+        old = self.agents[name]
+        if old.alive:
+            raise ValueError(f"agent {name} is still alive; crash it first")
+        host = self.network.host(name)
+        fs = LocalFileSystem(self.env, Disk(self.env, INSTANT_DISK),
+                             cache_blocks=1 << 16)
+        agent = StorageAgent(self.env, host, fs,
+                             well_known_port=old.control.port)
+        self.agents[name] = agent
+        return agent
+
+
+def build_local_swift(num_agents: int = 3,
+                      parity: bool = False,
+                      packet_size: int = 8192,
+                      agent_bandwidth: float = 10e6,
+                      agent_capacity: int = 1 << 32,
+                      seed: int = 0) -> SwiftDeployment:
+    """Build a functional Swift deployment on a loopback interconnect.
+
+    ``num_agents`` counts *all* agents; with ``parity=True`` one of them
+    will be used as the parity agent by sessions that request redundancy.
+    """
+    if num_agents < 1:
+        raise ValueError("need at least one agent")
+    if parity and num_agents < 3:
+        raise ValueError("parity needs at least 3 agents")
+    env = Environment()
+    streams = StreamFactory(seed)
+    network = Network(env, streams)
+    medium = LoopbackMedium(env, "loopback")
+    network.media["loopback"] = medium
+
+    client_host = network.add_host("client")
+    client_host.attach(medium, tx_queue_packets=4096)
+
+    mediator = StorageMediator(packet_size=packet_size)
+    agents: dict[str, StorageAgent] = {}
+    for index in range(num_agents):
+        name = f"agent{index}"
+        host = network.add_host(name)
+        host.attach(medium, tx_queue_packets=4096)
+        fs = LocalFileSystem(env, Disk(env, INSTANT_DISK),
+                             cache_blocks=1 << 16)
+        agents[name] = StorageAgent(env, host, fs, socket_buffer=4096)
+        mediator.register_agent(name, bandwidth=agent_bandwidth,
+                                capacity_bytes=agent_capacity)
+
+    return SwiftDeployment(
+        env=env,
+        network=network,
+        mediator=mediator,
+        agents=agents,
+        client_host_name="client",
+        packet_size=packet_size,
+        streams=streams,
+    )

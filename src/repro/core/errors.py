@@ -1,0 +1,50 @@
+"""Exception hierarchy of the Swift library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SwiftError",
+    "AdmissionError",
+    "ObjectNotFound",
+    "ObjectExists",
+    "AgentFailure",
+    "TransferError",
+    "DegradedModeError",
+    "SessionClosed",
+]
+
+
+class SwiftError(Exception):
+    """Base class for every error raised by the Swift stack."""
+
+
+class AdmissionError(SwiftError):
+    """The storage mediator rejected a session request.
+
+    §2: "Resource preallocation implies that storage mediators will reject
+    any request with requirements it is unable to satisfy."
+    """
+
+
+class ObjectNotFound(SwiftError):
+    """The named Swift object does not exist on the storage agents."""
+
+
+class ObjectExists(SwiftError):
+    """Exclusive creation of an object that already exists."""
+
+
+class AgentFailure(SwiftError):
+    """A storage agent stopped responding and no redundancy can mask it."""
+
+
+class TransferError(SwiftError):
+    """A read or write could not complete after exhausting retries."""
+
+
+class DegradedModeError(SwiftError):
+    """An operation is not possible with the current set of failed agents."""
+
+
+class SessionClosed(SwiftError):
+    """Operation on a file or session that has been closed."""

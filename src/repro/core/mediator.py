@@ -1,0 +1,275 @@
+"""The storage mediator: admission control and striping-unit policy.
+
+§2: when a client issues a request, "a storage mediator reserves resources
+from all the necessary storage agents and from the communication subsystem
+in a session-oriented manner.  The storage mediator then presents a
+distribution agent with a transfer plan. ... storage mediators will reject
+any request with requirements it is unable to satisfy."
+
+The striping-unit policy is the paper's: "If the required transfer rate is
+low, then the striping unit can be large and Swift can spread the data over
+only a few storage agents.  If the required data-rate is high, then the
+striping unit will be chosen small enough to exploit all the parallelism
+needed to satisfy the request."
+
+The mediator is *not* in the data path — it is consulted once per session
+(which is also why the §5 simulator omits it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import AdmissionError
+from .session import Reservation, Session
+from .transfer_plan import TransferPlan
+
+__all__ = ["AgentDescriptor", "StorageMediator", "MIN_STRIPING_UNIT",
+           "MAX_STRIPING_UNIT"]
+
+#: Bounds on the unit the policy may pick.
+MIN_STRIPING_UNIT = 4 * 1024
+MAX_STRIPING_UNIT = 64 * 1024
+
+
+@dataclass
+class AgentDescriptor:
+    """What the mediator knows about one storage agent."""
+
+    name: str
+    bandwidth: float  # deliverable bytes/second
+    capacity_bytes: int
+    committed_bandwidth: float = 0.0
+    committed_storage: int = 0
+
+    @property
+    def available_bandwidth(self) -> float:
+        return max(0.0, self.bandwidth - self.committed_bandwidth)
+
+    @property
+    def available_storage(self) -> int:
+        return max(0, self.capacity_bytes - self.committed_storage)
+
+
+class StorageMediator:
+    """Registry of agents plus the negotiation logic."""
+
+    def __init__(self, network_capacity: float = float("inf"),
+                 packet_size: int = 8192):
+        if network_capacity <= 0:
+            raise ValueError("network capacity must be positive")
+        self.network_capacity = network_capacity
+        self.packet_size = packet_size
+        self.committed_network = 0.0
+        self._agents: dict[str, AgentDescriptor] = {}
+        self._order: list[str] = []  # registration order
+        self.sessions: list[Session] = []
+        #: Object catalog: the layout every stored object was created
+        #: with.  Re-opening an object MUST reuse its original plan — a
+        #: different striping unit or agent set would misinterpret the
+        #: stripes on disk.
+        self.catalog: dict[str, TransferPlan] = {}
+
+    # -- registry ------------------------------------------------------------------
+
+    def register_agent(self, name: str, bandwidth: float,
+                       capacity_bytes: int) -> AgentDescriptor:
+        """Announce a storage agent and its resources."""
+        if name in self._agents:
+            raise ValueError(f"agent {name!r} already registered")
+        if bandwidth <= 0 or capacity_bytes <= 0:
+            raise ValueError("bandwidth and capacity must be positive")
+        descriptor = AgentDescriptor(name, bandwidth, capacity_bytes)
+        self._agents[name] = descriptor
+        self._order.append(name)
+        return descriptor
+
+    def adopt_agent(self, descriptor: AgentDescriptor) -> AgentDescriptor:
+        """Share an agent already registered with another mediator.
+
+        §6: "Several independent storage mediators may control a common
+        set of storage agents."  Adopting the *same descriptor object*
+        makes the two mediators see each other's commitments, so neither
+        can over-subscribe the shared agent.
+        """
+        if descriptor.name in self._agents:
+            raise ValueError(f"agent {descriptor.name!r} already registered")
+        self._agents[descriptor.name] = descriptor
+        self._order.append(descriptor.name)
+        return descriptor
+
+    def agent(self, name: str) -> AgentDescriptor:
+        """Look up an agent descriptor."""
+        return self._agents[name]
+
+    @property
+    def agent_names(self) -> list[str]:
+        """Registered agents in registration order."""
+        return list(self._order)
+
+    # -- policy -------------------------------------------------------------------
+
+    def choose_striping_unit(self, data_rate: float,
+                             num_agents: int) -> int:
+        """The §2 policy: high rates get small units (more parallelism).
+
+        The unit is sized so that one second of the required rate spans all
+        selected agents several times over; low rates stay at the large end
+        of the range so few agents are disturbed per request.
+        """
+        if num_agents < 1:
+            raise ValueError("num_agents must be >= 1")
+        if data_rate <= 0:
+            return MAX_STRIPING_UNIT
+        # Bytes each agent must move per second; a unit of ~1/8 of that
+        # keeps the pipeline deep without making packets tiny.
+        per_agent = data_rate / num_agents
+        unit = _floor_power_of_two(int(per_agent / 8))
+        return max(MIN_STRIPING_UNIT, min(MAX_STRIPING_UNIT, unit))
+
+    def _select_agents(self, data_rate: float, parity: bool) -> list[str]:
+        """Fewest agents that can satisfy the rate (plus one for parity).
+
+        Striping spreads load *uniformly*, so a set of k agents delivers
+        k × (slowest member's available bandwidth); the search takes
+        agents in decreasing availability and stops at the smallest k
+        whose uniform share fits every member.
+        """
+        if data_rate <= 0:
+            # No rate requirement: take every agent (the prototype default).
+            chosen = [self._agents[name] for name in self._order]
+        else:
+            candidates = sorted(
+                (self._agents[name] for name in self._order),
+                key=lambda a: (-a.available_bandwidth,
+                               self._order.index(a.name)),
+            )
+            chosen = []
+            best_deliverable = 0.0
+            satisfied = False
+            for k, descriptor in enumerate(candidates, start=1):
+                if descriptor.available_bandwidth <= 0:
+                    break
+                chosen.append(descriptor)
+                deliverable = k * descriptor.available_bandwidth
+                best_deliverable = max(best_deliverable, deliverable)
+                if deliverable >= data_rate:
+                    satisfied = True
+                    break
+            if not satisfied:
+                raise AdmissionError(
+                    f"required data-rate {data_rate:.0f} B/s exceeds what "
+                    f"uniform striping can deliver "
+                    f"({best_deliverable:.0f} B/s at best)")
+        if parity:
+            remaining = [self._agents[name] for name in self._order
+                         if self._agents[name] not in chosen]
+            if remaining:
+                parity_choice = min(remaining,
+                                    key=lambda a: a.committed_bandwidth)
+                chosen.append(parity_choice)
+            elif data_rate <= 0 and len(chosen) >= 3:
+                # Best-effort session: repurpose the last agent as parity.
+                pass
+            else:
+                raise AdmissionError(
+                    "parity requested but no agent is free to hold it")
+        return [descriptor.name for descriptor in chosen]
+
+    # -- negotiation ---------------------------------------------------------------
+
+    def negotiate(self, object_name: str, object_size: int,
+                  data_rate: float = 0.0, parity: bool = False,
+                  striping_unit: int | None = None) -> Session:
+        """Admit a session or raise :class:`AdmissionError`.
+
+        ``data_rate`` is the client's required bytes/second (0 means "best
+        effort": all agents, large unit).  On success the resources are
+        committed until :meth:`Session.close`.
+        """
+        if object_size < 0:
+            raise ValueError("object size must be non-negative")
+        if data_rate > 0 and self.committed_network + data_rate > \
+                self.network_capacity:
+            raise AdmissionError(
+                f"network reservation of {data_rate:.0f} B/s exceeds "
+                f"remaining capacity "
+                f"{self.network_capacity - self.committed_network:.0f} B/s")
+        known_plan = self.catalog.get(object_name)
+        if known_plan is not None:
+            # The object exists: its layout is immutable — a different
+            # striping unit or agent set would misread the stripes.  The
+            # stored plan wins; an explicitly conflicting unit is refused.
+            if striping_unit is not None and \
+                    striping_unit != known_plan.striping_unit:
+                raise AdmissionError(
+                    f"object {object_name!r} was created with a "
+                    f"{known_plan.striping_unit}-byte unit; refusing a "
+                    f"conflicting layout")
+            agent_names = list(known_plan.agent_hosts)
+            striping_unit = known_plan.striping_unit
+            parity = known_plan.parity
+            num_data = known_plan.num_data_agents
+        else:
+            agent_names = self._select_agents(data_rate, parity)
+            num_data = len(agent_names) - 1 if parity else len(agent_names)
+            if striping_unit is None:
+                striping_unit = self.choose_striping_unit(data_rate,
+                                                          num_data)
+
+        per_agent_rate = data_rate / num_data if num_data else 0.0
+        per_agent_storage = -(-object_size // max(1, num_data))  # ceil
+        reservations = []
+        for index, name in enumerate(agent_names):
+            descriptor = self._agents[name]
+            is_parity = parity and index == len(agent_names) - 1
+            storage = per_agent_storage
+            rate = per_agent_rate
+            if descriptor.available_storage < storage:
+                raise AdmissionError(
+                    f"agent {name} lacks storage: needs {storage}, has "
+                    f"{descriptor.available_storage}")
+            if rate > descriptor.available_bandwidth + 1e-9:
+                raise AdmissionError(
+                    f"agent {name} lacks bandwidth: needs {rate:.0f}, has "
+                    f"{descriptor.available_bandwidth:.0f}")
+            reservations.append(Reservation(name, rate, storage))
+
+        plan = TransferPlan(
+            object_name=object_name,
+            agent_hosts=tuple(agent_names),
+            striping_unit=striping_unit,
+            packet_size=self.packet_size,
+            parity=parity,
+        )
+        for reservation in reservations:
+            descriptor = self._agents[reservation.agent]
+            descriptor.committed_bandwidth += reservation.bandwidth
+            descriptor.committed_storage += reservation.storage_bytes
+        self.committed_network += max(0.0, data_rate)
+        session = Session(plan, reservations, data_rate,
+                          network_bandwidth=data_rate, mediator=self)
+        self.sessions.append(session)
+        self.catalog[object_name] = plan
+        return session
+
+    def forget(self, object_name: str) -> None:
+        """Drop an object's catalog entry (after it is removed)."""
+        self.catalog.pop(object_name, None)
+
+    def release(self, session: Session) -> None:
+        """Return a session's reservations (called by Session.close)."""
+        if session in self.sessions:
+            self.sessions.remove(session)
+            for reservation in session.reservations:
+                descriptor = self._agents[reservation.agent]
+                descriptor.committed_bandwidth -= reservation.bandwidth
+                descriptor.committed_storage -= reservation.storage_bytes
+            self.committed_network -= max(0.0, session.data_rate)
+
+
+def _floor_power_of_two(value: int) -> int:
+    """Largest power of two <= value (0 for value < 1)."""
+    if value < 1:
+        return 0
+    return 1 << (value.bit_length() - 1)

@@ -1,0 +1,91 @@
+"""Computed-copy redundancy: XOR parity over stripe units.
+
+§2: "In the Swift prototype we propose to use computed copy redundancy
+since this approach provides resiliency in the presence of a single failure
+(per group) at a low cost in terms of storage but at the expense of some
+additional computation."
+
+Swift keeps one parity unit per stripe on a dedicated parity agent (the
+fixed-parity-agent arrangement of the original RAID paper's level 4, which
+is what "computed copy" describes).  Units shorter than the striping unit
+are zero-padded for the XOR, matching how short trailing units behave.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = [
+    "xor_bytes",
+    "compute_parity",
+    "reconstruct_unit",
+    "update_parity",
+]
+
+
+def xor_bytes(left: bytes, right: bytes) -> bytes:
+    """XOR two byte strings, zero-padding the shorter one."""
+    if len(left) < len(right):
+        left, right = right, left
+    result = bytearray(left)
+    for index, value in enumerate(right):
+        result[index] ^= value
+    return bytes(result)
+
+
+def compute_parity(units: Iterable[bytes], unit_size: int) -> bytes:
+    """The parity unit of a stripe: XOR of its data units.
+
+    Every unit is zero-padded to ``unit_size`` so that parity is always
+    exactly one unit long, regardless of trailing short units.
+    """
+    if unit_size < 1:
+        raise ValueError("unit_size must be >= 1")
+    parity = bytearray(unit_size)
+    seen_any = False
+    for unit in units:
+        seen_any = True
+        if len(unit) > unit_size:
+            raise ValueError(
+                f"unit of {len(unit)} bytes exceeds unit_size {unit_size}")
+        for index, value in enumerate(unit):
+            parity[index] ^= value
+    if not seen_any:
+        raise ValueError("cannot compute parity of zero units")
+    return bytes(parity)
+
+
+def reconstruct_unit(surviving_units: Sequence[bytes], parity: bytes,
+                     unit_size: int) -> bytes:
+    """Rebuild the missing data unit from its siblings plus parity.
+
+    XOR of parity with every surviving unit yields the lost unit (single
+    failure per group — exactly the paper's resiliency claim).
+    """
+    if len(parity) != unit_size:
+        raise ValueError(
+            f"parity must be exactly unit_size ({unit_size}) bytes")
+    missing = bytearray(parity)
+    for unit in surviving_units:
+        if len(unit) > unit_size:
+            raise ValueError(
+                f"unit of {len(unit)} bytes exceeds unit_size {unit_size}")
+        for index, value in enumerate(unit):
+            missing[index] ^= value
+    return bytes(missing)
+
+
+def update_parity(old_data: bytes, new_data: bytes, old_parity: bytes,
+                  unit_size: int) -> bytes:
+    """Small-write parity update: parity ^= old_data ^ new_data.
+
+    The read-modify-write shortcut: updating one data unit only needs the
+    old unit and the old parity, not the whole stripe.
+    """
+    if len(old_parity) != unit_size:
+        raise ValueError(
+            f"parity must be exactly unit_size ({unit_size}) bytes")
+    if max(len(old_data), len(new_data)) > unit_size:
+        raise ValueError("data units must not exceed unit_size")
+    delta = xor_bytes(old_data, new_data)
+    return xor_bytes(old_parity, delta.ljust(unit_size, b"\x00"))

@@ -1,0 +1,67 @@
+"""Sessions and reservations: Swift's preallocation bookkeeping.
+
+§2: "a storage mediator reserves resources from all the necessary storage
+agents and from the communication subsystem in a session-oriented manner
+... negotiations among the client and the storage mediator will allow the
+preallocation of these resources."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from .transfer_plan import TransferPlan
+
+__all__ = ["Reservation", "Session"]
+
+_session_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """Resources pledged by a single storage agent to one session."""
+
+    agent: str
+    bandwidth: float  # bytes/second reserved on the agent
+    storage_bytes: int
+
+    def __post_init__(self):
+        if self.bandwidth < 0 or self.storage_bytes < 0:
+            raise ValueError("reservations must be non-negative")
+
+
+class Session:
+    """One client's admitted I/O session.
+
+    The mediator creates sessions; closing one releases its reservations
+    back to the mediator that issued it.
+    """
+
+    def __init__(self, plan: TransferPlan, reservations: list[Reservation],
+                 data_rate: float, network_bandwidth: float,
+                 mediator) -> None:
+        self.session_id = next(_session_ids)
+        self.plan = plan
+        self.reservations = list(reservations)
+        self.data_rate = data_rate
+        self.network_bandwidth = network_bandwidth
+        self._mediator = mediator
+        self.open = True
+
+    @property
+    def total_reserved_bandwidth(self) -> float:
+        """Aggregate agent bandwidth pledged to this session."""
+        return sum(r.bandwidth for r in self.reservations)
+
+    def close(self) -> None:
+        """Release every reservation (idempotent)."""
+        if self.open:
+            self.open = False
+            self._mediator.release(self)
+
+    def __repr__(self) -> str:
+        state = "open" if self.open else "closed"
+        return (f"<Session #{self.session_id} {state} "
+                f"rate={self.data_rate:.0f} B/s "
+                f"agents={len(self.reservations)}>")

@@ -1,0 +1,226 @@
+"""Continuous-media sessions: the workload Swift exists for.
+
+§1: "Multimedia applications that require this level of service include
+scientific visualization, image processing, and recording and play-back of
+color video" — data consumed or produced at a *fixed rate*, where late
+data is worthless.  §2's client "can behave as a data producer or a data
+consumer".
+
+:class:`PlaybackSession` plays a stored object at a target data-rate
+through a jitter buffer fed by a read-ahead process; every time the
+consumer clock finds the buffer empty it records an *underrun* and stalls
+(a visible glitch).  The prefetcher reads one chunk at a time, so for
+full parallelism across the storage agents the ``chunk_size`` should be
+at least the object's stripe width (unit × data agents) — chunks smaller
+than one unit stream from a single agent at that agent's rate.  :class:`RecordingSession` produces data at a fixed
+rate and counts how often the storage path falls behind the live source.
+
+Both run on any deployment — functional (loopback) or timed (the
+prototype testbed / a token ring), where the underrun counts become real
+capacity measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..des import Store
+from .client import SwiftFile
+
+__all__ = ["PlaybackSession", "PlaybackReport", "RecordingSession",
+           "RecordingReport"]
+
+
+@dataclass(frozen=True)
+class PlaybackReport:
+    """What happened during one playback run."""
+
+    bytes_played: int
+    duration_s: float
+    target_rate: float
+    startup_delay_s: float
+    underruns: int
+    stall_time_s: float
+
+    @property
+    def achieved_rate(self) -> float:
+        """Bytes/second actually delivered to the consumer."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.bytes_played / self.duration_s
+
+    @property
+    def glitch_free(self) -> bool:
+        """True if the stream never starved after startup."""
+        return self.underruns == 0
+
+
+@dataclass(frozen=True)
+class RecordingReport:
+    """What happened during one recording run."""
+
+    bytes_recorded: int
+    duration_s: float
+    target_rate: float
+    late_chunks: int
+    max_backlog_chunks: int
+
+    @property
+    def kept_up(self) -> bool:
+        """True if storage always absorbed the source in time."""
+        return self.late_chunks == 0
+
+
+class PlaybackSession:
+    """Consume a Swift object at a fixed rate through a jitter buffer."""
+
+    def __init__(self, swift_file: SwiftFile, rate: float,
+                 chunk_size: int = 65536, readahead_chunks: int = 4):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if chunk_size < 1 or readahead_chunks < 1:
+            raise ValueError("chunk size and readahead must be >= 1")
+        self.file = swift_file
+        self.rate = rate
+        self.chunk_size = chunk_size
+        self.readahead_chunks = readahead_chunks
+
+    def play_p(self, start: int = 0, length: int | None = None):
+        """Process method: play [start, start+length) at the target rate.
+
+        Returns a :class:`PlaybackReport`.
+        """
+        env = self.file.engine.env
+        if length is None:
+            length = max(0, self.file.size - start)
+        total_chunks = -(-length // self.chunk_size) if length else 0
+        if total_chunks == 0:
+            yield env.timeout(0.0)
+            return PlaybackReport(0, 0.0, self.rate, 0.0, 0, 0.0)
+
+        buffer: Store = Store(env, capacity=self.readahead_chunks)
+
+        def prefetcher():
+            position = start
+            remaining = length
+            index = 0
+            while remaining > 0:
+                span = min(self.chunk_size, remaining)
+                data = yield from self.file.pread_p(position, span)
+                yield buffer.put((index, data))
+                position += span
+                remaining -= span
+                index += 1
+
+        began = env.now
+        env.process(prefetcher())
+
+        # Startup: wait for the first chunk (the buffer "fills").
+        first = yield buffer.get()
+        startup_delay = env.now - began
+
+        chunk_time = self.chunk_size / self.rate
+        underruns = 0
+        stall_time = 0.0
+        bytes_played = len(first[1])
+        playback_started = env.now
+        next_deadline = env.now
+        for expected in range(1, total_chunks):
+            next_deadline += chunk_time
+            delay = next_deadline - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            if buffer.size == 0:
+                # The consumer clock ticked and found nothing: a glitch.
+                underruns += 1
+                stall_began = env.now
+                index, data = yield buffer.get()
+                stall_time += env.now - stall_began
+                next_deadline = env.now  # resynchronise the clock
+            else:
+                index, data = yield buffer.get()
+            if index != expected:  # pragma: no cover - ordering guard
+                raise RuntimeError("jitter buffer out of order")
+            bytes_played += len(data)
+        # The final chunk still occupies its presentation slot.
+        tail = next_deadline + chunk_time - env.now
+        if tail > 0:
+            yield env.timeout(tail)
+        return PlaybackReport(
+            bytes_played=bytes_played,
+            duration_s=env.now - playback_started,
+            target_rate=self.rate,
+            startup_delay_s=startup_delay,
+            underruns=underruns,
+            stall_time_s=stall_time,
+        )
+
+    def play(self, start: int = 0, length: int | None = None
+             ) -> PlaybackReport:
+        """Synchronous :meth:`play_p` (drives the simulation)."""
+        env = self.file.engine.env
+        return env.run(until=env.process(self.play_p(start, length)))
+
+
+class RecordingSession:
+    """Produce data at a fixed rate into a Swift object."""
+
+    def __init__(self, swift_file: SwiftFile, rate: float,
+                 chunk_size: int = 65536, max_backlog_chunks: int = 8):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if chunk_size < 1 or max_backlog_chunks < 1:
+            raise ValueError("chunk size and backlog must be >= 1")
+        self.file = swift_file
+        self.rate = rate
+        self.chunk_size = chunk_size
+        self.max_backlog_chunks = max_backlog_chunks
+
+    def record_p(self, duration_s: float, fill: int = 0x56):
+        """Process method: record for ``duration_s`` of source time.
+
+        The live source emits a chunk every ``chunk_size/rate`` seconds;
+        a writer drains the backlog into Swift.  A chunk arriving to a
+        full backlog is counted *late* (a real recorder would drop it;
+        we keep the data so the object stays verifiable, but the lateness
+        is the capacity signal).
+        """
+        env = self.file.engine.env
+        chunk_time = self.chunk_size / self.rate
+        total_chunks = max(1, int(duration_s / chunk_time))
+        backlog: Store = Store(env)
+        late = 0
+        max_backlog = 0
+        done = env.event()
+
+        def writer():
+            written = 0
+            while written < total_chunks:
+                index, payload = yield backlog.get()
+                yield from self.file.pwrite_p(index * self.chunk_size,
+                                              payload)
+                written += 1
+            done.succeed()
+
+        env.process(writer())
+        began = env.now
+        payload_base = bytes([fill]) * self.chunk_size
+        for index in range(total_chunks):
+            if backlog.size >= self.max_backlog_chunks:
+                late += 1
+            backlog.put((index, payload_base))
+            max_backlog = max(max_backlog, backlog.size)
+            yield env.timeout(chunk_time)
+        yield done
+        return RecordingReport(
+            bytes_recorded=total_chunks * self.chunk_size,
+            duration_s=env.now - began,
+            target_rate=self.rate,
+            late_chunks=late,
+            max_backlog_chunks=max_backlog,
+        )
+
+    def record(self, duration_s: float) -> RecordingReport:
+        """Synchronous :meth:`record_p`."""
+        env = self.file.engine.env
+        return env.run(until=env.process(self.record_p(duration_s)))

@@ -1,0 +1,64 @@
+"""Transfer plans: the mediator's instructions to the distribution agent.
+
+§2: "The storage mediator then presents a distribution agent with a transfer
+plan" after reserving resources; the distribution agent then moves the data
+"with no further intervention by the storage mediator".
+
+A plan is deliberately small and declarative: which agents, what striping
+unit, what packet size, whether a parity agent is included.  Everything the
+data path needs, nothing it doesn't.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .striping import StripeLayout
+
+__all__ = ["TransferPlan"]
+
+
+@dataclass(frozen=True)
+class TransferPlan:
+    """The instructions handed from mediator to distribution agent."""
+
+    object_name: str
+    agent_hosts: tuple[str, ...]
+    striping_unit: int
+    packet_size: int
+    parity: bool
+
+    def __post_init__(self):
+        if not self.agent_hosts:
+            raise ValueError("a plan needs at least one agent")
+        if self.striping_unit < 1 or self.packet_size < 1:
+            raise ValueError("striping unit and packet size must be >= 1")
+        if self.parity and len(self.agent_hosts) < 3:
+            raise ValueError("parity plans need at least three agents")
+
+    @property
+    def num_data_agents(self) -> int:
+        """Agents that hold data units (excludes the parity agent)."""
+        return len(self.agent_hosts) - 1 if self.parity else len(self.agent_hosts)
+
+    @property
+    def data_agents(self) -> tuple[str, ...]:
+        """Host names of the data agents."""
+        return self.agent_hosts[:self.num_data_agents]
+
+    @property
+    def parity_agent(self) -> str | None:
+        """Host name of the parity agent, if redundancy is on."""
+        return self.agent_hosts[-1] if self.parity else None
+
+    def layout(self) -> StripeLayout:
+        """The stripe layout this plan implies."""
+        return StripeLayout(self.num_data_agents, self.striping_unit)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and examples."""
+        redundancy = (f", parity on {self.parity_agent}"
+                      if self.parity else ", no redundancy")
+        return (f"{self.object_name}: {self.num_data_agents} data agents, "
+                f"unit {self.striping_unit} B, packets "
+                f"{self.packet_size} B{redundancy}")

@@ -1,0 +1,171 @@
+"""The simulation engine: a calendar of events and the loop that drains it.
+
+Typical use::
+
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(3.0)
+        return "done"
+
+    proc = env.process(worker(env))
+    env.run()
+    assert env.now == 3.0
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Optional
+
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process, ProcessGenerator
+
+__all__ = ["Environment", "EmptySchedule", "StopSimulation"]
+
+
+class EmptySchedule(Exception):
+    """Raised internally when the calendar runs dry."""
+
+
+class StopSimulation(Exception):
+    """Raised to terminate :meth:`Environment.run` early."""
+
+
+class Environment:
+    """Execution environment for a single simulation run.
+
+    Time is a float in *seconds* throughout this project (disk and network
+    models convert from ms/µs at their boundaries).
+    """
+
+    #: Events scheduled with urgent priority run before normal events that
+    #: share the same timestamp (used for interrupts).
+    PRIORITY_URGENT = 0
+    PRIORITY_NORMAL = 1
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped (None between steps)."""
+        return self._active_process
+
+    # -- event factories --------------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator) -> Process:
+        """Register ``generator`` as a new process starting now."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        """Event that fires when every event in ``events`` has succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event that fires when any event in ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(
+        self,
+        event: Event,
+        delay: float = 0.0,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Place a triggered event on the calendar ``delay`` seconds ahead."""
+        self._eid += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._eid, event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event from the calendar."""
+        try:
+            when, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        if when < self._now:  # pragma: no cover - heap guarantees ordering
+            raise RuntimeError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise RuntimeError(f"unhandled failed event: {event!r}")
+
+    # -- run loop -----------------------------------------------------------
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` runs until the calendar is empty.  A number runs until
+            simulated time reaches it.  An :class:`Event` runs until that
+            event is processed and returns its value.
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is not None:
+                stop_event.callbacks.append(self._stop_callback)
+            elif stop_event.triggered:
+                return stop_event.value
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until ({stop_time}) must not be in the past "
+                    f"(now={self._now})"
+                )
+
+        try:
+            while True:
+                if self.peek() > stop_time:
+                    self._now = stop_time
+                    return None
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0] if stop.args else None
+        except EmptySchedule:
+            if stop_event is not None and not stop_event.triggered:
+                raise RuntimeError(
+                    "run(until=event) but the event was never triggered and "
+                    "the schedule is empty"
+                ) from None
+            return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        event._defused = False  # let step() re-raise the failure

@@ -1,0 +1,229 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+An :class:`Event` is a one-shot occurrence that processes can wait on.  Its
+lifecycle is::
+
+    pending --> triggered --> processed
+                (scheduled)   (callbacks ran)
+
+An event is *triggered* by :meth:`Event.succeed` or :meth:`Event.fail`, which
+places it on the simulation calendar; once the engine pops it, the event is
+*processed* and its callbacks run exactly once.
+
+The module also provides composite conditions (:class:`AllOf`, :class:`AnyOf`)
+and the :class:`Timeout` event used to model the passage of time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .engine import Environment
+
+__all__ = [
+    "PENDING",
+    "Event",
+    "Timeout",
+    "ConditionEvent",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+]
+
+
+class _PendingType:
+    """Sentinel for "this event has no value yet"."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<PENDING>"
+
+
+#: Sentinel stored in :attr:`Event._value` until the event is triggered.
+PENDING = _PendingType()
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The interrupt ``cause`` is available both as ``exc.cause`` and as
+    ``exc.args[0]``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        """Whatever the interrupting process passed as the cause."""
+        return self.args[0]
+
+
+class Event:
+    """A one-shot occurrence on the simulation calendar.
+
+    Parameters
+    ----------
+    env:
+        The environment the event belongs to.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        #: Set by the engine after callbacks have run.
+        self._defused = False
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is (or was) on the calendar."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise RuntimeError(f"{self!r} has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception if it failed)."""
+        if self._value is PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the engine does not re-raise."""
+        self._defused = True
+
+    # -- triggering ---------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Processes waiting on the event will have ``exception`` thrown into
+        them.  If nothing waits on a failed event, the engine raises it when
+        processing (unless :meth:`defuse` was called).
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event.
+
+        Useful as a callback: ``other.callbacks.append(this.trigger)``.
+        """
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    # -- representation -----------------------------------------------------
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self.processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class ConditionEvent(Event):
+    """Base for composite events built from several sub-events.
+
+    The condition triggers when ``evaluate`` says the collected outcomes are
+    sufficient, or immediately fails when any sub-event fails.  Its value is a
+    dict mapping each *completed* sub-event to its value, in completion
+    order.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._completed: dict[Event, Any] = {}
+        for event in self.events:
+            if event.env is not env:
+                raise ValueError("all events must share one environment")
+        if not self.events:
+            # An empty condition is vacuously satisfied.
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.processed:
+                self._observe(event)
+            else:
+                event.callbacks.append(self._observe)
+            if self.triggered:
+                break
+
+    def _count_needed(self) -> int:
+        raise NotImplementedError
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._completed[event] = event._value
+        if len(self._completed) >= self._count_needed():
+            self.succeed(dict(self._completed))
+
+
+class AllOf(ConditionEvent):
+    """Triggers once *all* sub-events have succeeded."""
+
+    def _count_needed(self) -> int:
+        return len(self.events)
+
+
+class AnyOf(ConditionEvent):
+    """Triggers as soon as *any* sub-event has succeeded."""
+
+    def _count_needed(self) -> int:
+        return 1

@@ -1,0 +1,128 @@
+"""Generator-based simulation processes.
+
+A *process* is a Python generator that yields :class:`~repro.des.events.Event`
+objects.  Each yield suspends the process until the yielded event is
+processed; the event's value is sent back into the generator (or its
+exception thrown in, for failed events).
+
+A :class:`Process` is itself an event: it triggers when the generator
+returns (value = the generator's return value) or raises.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from .events import Event, Interrupt, PENDING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Environment
+
+__all__ = ["Process", "ProcessGenerator"]
+
+#: The type a process function must return.
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """Wraps a generator and steps it through the event calendar."""
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator):
+        if not hasattr(generator, "throw"):
+            raise TypeError(
+                f"{generator!r} is not a generator; did you call the "
+                "process function?"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._target: Event | None = None
+        # Kick the process off at the current simulation time via an
+        # initialisation event so that process start order follows
+        # creation order.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env.schedule(init)
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Event | None:
+        """The event this process is currently waiting on (None if running)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process.
+
+        The process stops waiting on its current target and instead receives
+        the interrupt at the current simulation time.  Interrupting a dead
+        process is an error; interrupting yourself is too.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has already terminated")
+        if self is self.env.active_process:
+            raise RuntimeError("a process is not allowed to interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env.schedule(interrupt_event, priority=self.env.PRIORITY_URGENT)
+
+    # -- engine plumbing ------------------------------------------------------
+
+    def _resume(self, trigger: Event) -> None:
+        """Advance the generator with the outcome of ``trigger``."""
+        env = self.env
+        # If we were interrupted, detach from the event we were waiting on.
+        if self._target is not None and trigger is not self._target:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+        self._target = None
+        env._active_process = self
+        try:
+            while True:
+                if trigger._ok:
+                    next_event = self._generator.send(trigger._value)
+                else:
+                    trigger._defused = True
+                    next_event = self._generator.throw(trigger._value)
+                if not isinstance(next_event, Event):
+                    raise RuntimeError(
+                        f"process yielded a non-event: {next_event!r}"
+                    )
+                if next_event.env is not env:
+                    raise RuntimeError(
+                        "process yielded an event from another environment"
+                    )
+                if next_event.processed:
+                    # Already done: loop around immediately with its outcome.
+                    trigger = next_event
+                    continue
+                self._target = next_event
+                next_event.callbacks.append(self._resume)
+                return
+        except StopIteration as exc:
+            self._ok = True
+            self._value = exc.value
+            env.schedule(self)
+        except BaseException as exc:
+            self._ok = False
+            self._value = exc
+            env.schedule(self)
+        finally:
+            env._active_process = None
+
+    def __repr__(self) -> str:
+        name = getattr(self._generator, "__name__", "process")
+        state = "alive" if self.is_alive else "dead"
+        return f"<Process {name} {state}>"

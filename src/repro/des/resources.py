@@ -1,0 +1,220 @@
+"""Shared resources: the queueing building blocks of every device model.
+
+:class:`Resource` models a server pool with a FIFO (optionally priority)
+request queue — disks, CPUs and network media are all built on it.
+:class:`Store` is a producer/consumer buffer of Python objects — message
+queues, mailboxes, free-lists.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Environment
+
+__all__ = ["Request", "Release", "Resource", "Store", "StorePut", "StoreGet"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`.
+
+    Usable as a context manager::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+        # released on exit
+    """
+
+    def __init__(self, resource: "Resource", priority: float = 0.0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        resource._enqueue(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw the request (granted or not)."""
+        self.resource.release(self)
+
+
+class Release(Event):
+    """Event returned by :meth:`Resource.release`; fires immediately."""
+
+    def __init__(self, resource: "Resource", request: Request):
+        super().__init__(resource.env)
+        resource._dequeue(request)
+        self.succeed()
+
+
+class Resource:
+    """A pool of ``capacity`` identical servers with a queue.
+
+    Requests are granted in priority order (ties broken FIFO).  The default
+    priority 0 everywhere degenerates to a pure FIFO queue.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self._waiting: list[tuple[float, int, Request]] = []
+        self._ticket = itertools.count()
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of servers currently held."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a server."""
+        return len(self._waiting)
+
+    def request(self, priority: float = 0.0) -> Request:
+        """Claim a server; the returned event fires when granted."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> Release:
+        """Give a server back (or withdraw a waiting request)."""
+        return Release(self, request)
+
+    # -- internals ------------------------------------------------------------
+
+    def _enqueue(self, request: Request) -> None:
+        heapq.heappush(
+            self._waiting, (request.priority, next(self._ticket), request)
+        )
+        self._grant()
+
+    def _dequeue(self, request: Request) -> None:
+        if request in self.users:
+            self.users.remove(request)
+            self._grant()
+        else:
+            # Withdraw from the wait queue (lazily: mark and filter).
+            self._waiting = [
+                entry for entry in self._waiting if entry[2] is not request
+            ]
+            heapq.heapify(self._waiting)
+
+    def _grant(self) -> None:
+        while self._waiting and len(self.users) < self.capacity:
+            _, _, request = heapq.heappop(self._waiting)
+            self.users.append(request)
+            request.succeed()
+
+
+class StorePut(Event):
+    """A pending put into a :class:`Store`."""
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._dispatch()
+
+
+class StoreGet(Event):
+    """A pending get from a :class:`Store`."""
+
+    def __init__(self, store: "Store", predicate: Optional[Callable[[Any], bool]]):
+        super().__init__(store.env)
+        self.store = store
+        self.predicate = predicate
+        store._get_queue.append(self)
+        store._dispatch()
+
+    def cancel(self) -> None:
+        """Withdraw an unfired get so it never consumes an item.
+
+        A no-op if the get was already satisfied (the caller then owns the
+        item it received).
+        """
+        if not self.triggered:
+            try:
+                self.store._get_queue.remove(self)
+            except ValueError:  # pragma: no cover - already dispatched
+                pass
+
+
+class Store:
+    """A FIFO buffer of items with optional capacity.
+
+    ``get(predicate)`` takes the first item satisfying the predicate,
+    which lets protocol code wait for e.g. "the ACK for sequence 7".
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._put_queue: list[StorePut] = []
+        self._get_queue: list[StoreGet] = []
+
+    def put(self, item: Any) -> StorePut:
+        """Deposit ``item``; fires once there is room."""
+        return StorePut(self, item)
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Withdraw the first item (matching ``predicate`` if given)."""
+        return StoreGet(self, predicate)
+
+    @property
+    def size(self) -> int:
+        """Number of items currently buffered."""
+        return len(self.items)
+
+    def purge(self, predicate: Callable[[Any], bool]) -> int:
+        """Discard buffered items matching ``predicate``; returns the count."""
+        keep = [item for item in self.items if not predicate(item)]
+        removed = len(self.items) - len(keep)
+        self.items = keep
+        return removed
+
+    # -- internals ------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Admit puts while there is room.
+            while self._put_queue and len(self.items) < self.capacity:
+                put = self._put_queue.pop(0)
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            # Satisfy gets that can match.
+            remaining: list[StoreGet] = []
+            for get in self._get_queue:
+                index = self._match(get.predicate)
+                if index is None:
+                    remaining.append(get)
+                else:
+                    get.succeed(self.items.pop(index))
+                    progress = True
+            self._get_queue = remaining
+
+    def _match(self, predicate: Optional[Callable[[Any], bool]]) -> Optional[int]:
+        if predicate is None:
+            return 0 if self.items else None
+        for index, item in enumerate(self.items):
+            if predicate(item):
+                return index
+        return None

@@ -1,0 +1,34 @@
+"""The §3-§4 prototype emulation: calibration, testbed, Tables 1-4."""
+
+from . import calibration
+from .experiments import (
+    MEGABYTE,
+    NUM_SAMPLES,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    SIZES_MB,
+    run_nfs_table,
+    run_scsi_table,
+    run_swift_table,
+)
+from .report import format_comparison, format_table
+from .testbed import PrototypeTestbed
+
+__all__ = [
+    "calibration",
+    "PrototypeTestbed",
+    "run_swift_table",
+    "run_scsi_table",
+    "run_nfs_table",
+    "format_table",
+    "format_comparison",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "SIZES_MB",
+    "NUM_SAMPLES",
+    "MEGABYTE",
+]

@@ -1,0 +1,9 @@
+"""Calibrated constants of the prototype emulation.
+
+The constants live in :mod:`repro.calibration` (a leaf module so both the
+baselines and the prototype can import them without cycles); this module
+re-exports them under the historical name.
+"""
+
+from ..calibration import *  # noqa: F401,F403
+from ..calibration import __all__  # noqa: F401

@@ -1,0 +1,113 @@
+"""Runners for the prototype measurements: Tables 1-4.
+
+§4: "three, six, and nine megabytes were read from and written to a Swift
+object.  In order to calculate confidence intervals, eight samples of each
+measurement were taken."  Each sample here is one independently-seeded
+simulation run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..des import SampleSet
+from ..baselines import LocalScsiBaseline, NfsBaseline
+from .testbed import PrototypeTestbed
+
+__all__ = [
+    "MEGABYTE",
+    "SIZES_MB",
+    "NUM_SAMPLES",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "run_swift_table",
+    "run_scsi_table",
+    "run_nfs_table",
+]
+
+MEGABYTE = 1 << 20
+SIZES_MB = (3, 6, 9)
+NUM_SAMPLES = 8
+
+#: The paper's published means (KB/s), for side-by-side comparison.
+PAPER_TABLE1 = {
+    "Read 3 MB": 893, "Read 6 MB": 897, "Read 9 MB": 876,
+    "Write 3 MB": 860, "Write 6 MB": 882, "Write 9 MB": 881,
+}
+PAPER_TABLE2 = {
+    "Read 3 MB": 654, "Read 6 MB": 671, "Read 9 MB": 682,
+    "Write 3 MB": 314, "Write 6 MB": 316, "Write 9 MB": 315,
+}
+PAPER_TABLE3 = {
+    "Read 3 MB": 462, "Read 6 MB": 456, "Read 9 MB": 488,
+    "Write 3 MB": 112, "Write 6 MB": 109, "Write 9 MB": 111,
+}
+PAPER_TABLE4 = {
+    "Read 3 MB": 1120, "Read 6 MB": 1150, "Read 9 MB": 1130,
+    "Write 3 MB": 1660, "Write 6 MB": 1670, "Write 9 MB": 1660,
+}
+
+
+def _sample_rows(measure: Callable[[str, int, int], float],
+                 sizes_mb=SIZES_MB, samples: int = NUM_SAMPLES,
+                 base_seed: int = 100) -> dict[str, SampleSet]:
+    """Run read+write × sizes × samples and collect SampleSets.
+
+    ``measure(op, size_bytes, seed)`` returns one KB/s measurement.
+    """
+    rows: dict[str, SampleSet] = {}
+    for op in ("Read", "Write"):
+        for size_mb in sizes_mb:
+            label = f"{op} {size_mb} MB"
+            samples_set = SampleSet()
+            for sample in range(samples):
+                seed = base_seed + 17 * sample + size_mb
+                samples_set.add(measure(op, size_mb * MEGABYTE, seed))
+            rows[label] = samples_set
+    return rows
+
+
+def run_swift_table(second_ethernet: bool = False,
+                    sizes_mb=SIZES_MB, samples: int = NUM_SAMPLES
+                    ) -> dict[str, SampleSet]:
+    """Table 1 (one Ethernet) or Table 4 (two Ethernets)."""
+
+    def measure(op: str, size: int, seed: int) -> float:
+        testbed = PrototypeTestbed(second_ethernet=second_ethernet,
+                                   seed=seed)
+        if op == "Read":
+            testbed.prepare_object("obj", size)
+            return testbed.measure_read("obj", size)
+        return testbed.measure_write("obj", size)
+
+    return _sample_rows(measure, sizes_mb, samples)
+
+
+def run_scsi_table(sizes_mb=SIZES_MB, samples: int = NUM_SAMPLES
+                   ) -> dict[str, SampleSet]:
+    """Table 2: the local SCSI disk."""
+
+    def measure(op: str, size: int, seed: int) -> float:
+        baseline = LocalScsiBaseline(seed=seed)
+        if op == "Read":
+            baseline.prepare_file("f", size)
+            return baseline.measure_read("f", size)
+        return baseline.measure_write("f", size)
+
+    return _sample_rows(measure, sizes_mb, samples)
+
+
+def run_nfs_table(sizes_mb=SIZES_MB, samples: int = NUM_SAMPLES
+                  ) -> dict[str, SampleSet]:
+    """Table 3: the NFS file service."""
+
+    def measure(op: str, size: int, seed: int) -> float:
+        baseline = NfsBaseline(seed=seed)
+        if op == "Read":
+            baseline.prepare_file("f", size)
+            return baseline.measure_read("f", size)
+        return baseline.measure_write("f", size)
+
+    return _sample_rows(measure, sizes_mb, samples)

@@ -1,0 +1,52 @@
+"""Paper-style result tables.
+
+Tables 1-4 report, for each operation, the mean, standard deviation, min,
+max and a 90 % confidence interval over eight samples, in kilobytes per
+second.  :func:`format_table` renders the same columns.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..des import SampleSet
+
+__all__ = ["format_table", "format_comparison"]
+
+
+def format_table(title: str, rows: Mapping[str, SampleSet],
+                 confidence: float = 0.90) -> str:
+    """Render measurement rows the way the paper's tables do."""
+    lines = [title, ""]
+    header = (f"{'Operation':<14} {'x̄':>7} {'σ':>7} {'min':>7} {'max':>7} "
+              f"{'90% low':>8} {'90% high':>8}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, samples in rows.items():
+        row = samples.row(confidence)
+        lines.append(
+            f"{name:<14} {row['mean']:>7.0f} {row['stdev']:>7.2f} "
+            f"{row['min']:>7.0f} {row['max']:>7.0f} "
+            f"{row['ci_low']:>8.0f} {row['ci_high']:>8.0f}")
+    return "\n".join(lines)
+
+
+def format_comparison(title: str, rows: Mapping[str, SampleSet],
+                      paper: Mapping[str, float],
+                      unit: str = "KB/s") -> str:
+    """Measured means next to the paper's published means."""
+    lines = [title, ""]
+    header = (f"{'Operation':<14} {'paper ' + unit:>12} "
+              f"{'measured ' + unit:>14} {'ratio':>7}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, samples in rows.items():
+        published: Optional[float] = paper.get(name)
+        if published:
+            ratio = samples.mean / published
+            lines.append(f"{name:<14} {published:>12.0f} "
+                         f"{samples.mean:>14.0f} {ratio:>7.2f}")
+        else:
+            lines.append(f"{name:<14} {'—':>12} {samples.mean:>14.0f} "
+                         f"{'—':>7}")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Bottleneck location for the prototype: which component limits what?
+
+§5's stated purpose — "to locate the components that will limit I/O
+performance" — applied to the §4 testbed: speed each component up in
+isolation and see which measurements move.  §4's own claims predict the
+answers: reads and writes are Ethernet-bound (so only a faster network
+helps), and the SCSI disks are hidden behind prefetching and asynchronous
+writes (so faster disks change nothing).
+"""
+
+from __future__ import annotations
+
+from .testbed import PrototypeTestbed
+
+__all__ = ["COMPONENTS", "sensitivity_table"]
+
+MEGABYTE = 1 << 20
+
+#: The components the testbed can accelerate in isolation.
+COMPONENTS = ("network", "client_cpu", "agent_cpu", "agent_disk")
+
+
+def _measure(operation: str, size: int, seed: int,
+             component_scales: dict[str, float] | None) -> float:
+    testbed = PrototypeTestbed(seed=seed,
+                               component_scales=component_scales)
+    if operation == "read":
+        testbed.prepare_object("obj", size)
+        return testbed.measure_read("obj", size)
+    if operation == "write":
+        return testbed.measure_write("obj", size)
+    raise ValueError(f"unknown operation {operation!r}")
+
+
+def sensitivity_table(operation: str = "read", scale: float = 2.0,
+                      size: int = 3 * MEGABYTE, seed: int = 0
+                      ) -> dict[str, float]:
+    """Relative data-rate change from making each component ``scale``×
+    faster, one at a time.
+
+    Returns ``{component: rate_with_faster_component / baseline_rate}``
+    plus a ``"baseline"`` entry holding the untouched KB/s figure.  A
+    ratio near 1.0 means the component is *not* the bottleneck.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    baseline = _measure(operation, size, seed, None)
+    table: dict[str, float] = {"baseline": baseline}
+    for component in COMPONENTS:
+        faster = _measure(operation, size, seed, {component: scale})
+        table[component] = faster / baseline
+    return table

@@ -1,0 +1,86 @@
+"""Parameter sweeps: load curves and the maximum sustainable data-rate.
+
+Figures 3 and 4 plot mean time-to-complete against the request arrival
+rate; Figures 5 and 6 plot, per disk count and disk model, "the data-rate
+observed by the client when the average time to complete a request is the
+same as the average time between requests" (§5.2) — found here by bisection
+on the arrival rate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from .model import SimResult, SwiftSimModel
+from .workload import SimConfig
+
+__all__ = ["run_once", "load_sweep", "find_max_sustainable"]
+
+
+def run_once(config: SimConfig, storage_factory=None,
+             trace=None) -> SimResult:
+    """One simulation run (custom agent storage / trace replay optional)."""
+    return SwiftSimModel(config, storage_factory=storage_factory,
+                         trace=trace).run()
+
+
+def load_sweep(base: SimConfig,
+               arrival_rates: Sequence[float],
+               storage_factory=None) -> list[SimResult]:
+    """Mean completion time across a grid of arrival rates."""
+    results = []
+    for rate in arrival_rates:
+        config = dataclasses.replace(base, arrival_rate=rate)
+        results.append(run_once(config, storage_factory=storage_factory))
+    return results
+
+
+def find_max_sustainable(base: SimConfig,
+                         rate_low: float = 0.05,
+                         rate_high: float = 400.0,
+                         iterations: int = 10,
+                         storage_factory=None) -> SimResult:
+    """Bisect for the §5.2 maximum-sustainable-load point.
+
+    Returns the result at the highest arrival rate found whose mean
+    completion time does not exceed the mean interarrival time.
+    """
+    if rate_low <= 0 or rate_high <= rate_low:
+        raise ValueError("need 0 < rate_low < rate_high")
+
+    def sustainable(rate: float) -> tuple[bool, SimResult]:
+        result = run_once(dataclasses.replace(base, arrival_rate=rate),
+                          storage_factory=storage_factory)
+        return result.sustainable, result
+
+    ok_low, best = sustainable(rate_low)
+    if not ok_low:
+        # Even the lightest load is unsustainable; report it as the bound.
+        return best
+    # Exponential search for the first unsustainable rate, then bisect
+    # inside that (tight) bracket — far better resolution than bisecting
+    # the whole [rate_low, rate_high] span.
+    low, high = rate_low, None
+    rate = rate_low
+    while rate * 2.0 <= rate_high:
+        rate *= 2.0
+        ok, result = sustainable(rate)
+        if ok:
+            low, best = rate, result
+        else:
+            high = rate
+            break
+    if high is None:
+        ok, result = sustainable(rate_high)
+        if ok:
+            return result
+        high = rate_high
+    for _ in range(iterations):
+        mid = (low + high) / 2.0
+        ok, result = sustainable(mid)
+        if ok:
+            low, best = mid, result
+        else:
+            high = mid
+    return best

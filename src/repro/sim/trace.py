@@ -1,0 +1,123 @@
+"""Trace-driven workloads: the §6.1.1 "variable loads" future work.
+
+§5.1 notes the authors had no file-system traces and fell back to Poisson
+arrivals; §6.1.1 plans to "study different resource allocation policies,
+with the goal of understanding how to handle variable loads."  This module
+supplies that capability: request traces as plain data, a synthesiser for
+*bursty* (two-state Markov-modulated) arrivals with a controllable
+burstiness at a fixed mean rate, and adapters so the §5 model can replay
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..des import RandomStream
+
+__all__ = [
+    "TraceRecord",
+    "synthesize_poisson_trace",
+    "synthesize_bursty_trace",
+    "trace_mean_rate",
+]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One client request in a workload trace."""
+
+    time_s: float
+    is_read: bool
+
+    def __post_init__(self):
+        if self.time_s < 0:
+            raise ValueError("trace times must be non-negative")
+
+
+def synthesize_poisson_trace(rate: float, count: int, seed: int = 0,
+                             read_fraction: float = 0.8
+                             ) -> list[TraceRecord]:
+    """The §5 workload as an explicit trace (for apples-to-apples runs)."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    stream = RandomStream(seed)
+    records = []
+    clock = 0.0
+    for _ in range(count):
+        clock += stream.exponential(1.0 / rate)
+        records.append(TraceRecord(
+            time_s=clock,
+            is_read=stream.uniform(0.0, 1.0) < read_fraction))
+    return records
+
+
+def synthesize_bursty_trace(mean_rate: float, count: int,
+                            burstiness: float = 4.0,
+                            busy_fraction: float = 0.25,
+                            cycle_s: float = 2.0,
+                            seed: int = 0,
+                            read_fraction: float = 0.8
+                            ) -> list[TraceRecord]:
+    """A two-state (ON/OFF) arrival process with the given *mean* rate.
+
+    During ON periods requests arrive at ``burstiness / busy_fraction``
+    times the quiet rate, so the long-run average stays at ``mean_rate``
+    while short-term load swings hard — the "variable loads" §6.1.1 worries
+    about.  ``cycle_s`` sets the average ON+OFF period length.
+    """
+    if mean_rate <= 0 or count < 1:
+        raise ValueError("mean_rate must be positive and count >= 1")
+    if burstiness < 1.0:
+        raise ValueError("burstiness must be >= 1 (1 = Poisson-like)")
+    if not 0.0 < busy_fraction <= 1.0:
+        raise ValueError("busy_fraction must be in (0, 1]")
+    if cycle_s <= 0:
+        raise ValueError("cycle_s must be positive")
+    stream = RandomStream(seed)
+    # Split the mass: ON periods carry `burstiness`x the mean rate; the
+    # OFF rate absorbs the remainder (>= 0 requires burstiness <=
+    # 1/busy_fraction, clamped below).
+    burstiness = min(burstiness, 1.0 / busy_fraction)
+    on_rate = mean_rate * burstiness
+    off_weight = 1.0 - burstiness * busy_fraction
+    off_rate = (mean_rate * off_weight / (1.0 - busy_fraction)
+                if busy_fraction < 1.0 else on_rate)
+
+    records = []
+    clock = 0.0
+    in_burst = False
+    phase_end = 0.0
+    while len(records) < count:
+        if clock >= phase_end:
+            in_burst = not in_burst
+            mean_phase = (cycle_s * busy_fraction if in_burst
+                          else cycle_s * (1.0 - busy_fraction))
+            phase_end = clock + stream.exponential(mean_phase)
+        rate = on_rate if in_burst else off_rate
+        if rate <= 0:
+            clock = phase_end
+            continue
+        step = stream.exponential(1.0 / rate)
+        if clock + step > phase_end:
+            clock = phase_end
+            continue
+        clock += step
+        records.append(TraceRecord(
+            time_s=clock,
+            is_read=stream.uniform(0.0, 1.0) < read_fraction))
+    return records
+
+
+def trace_mean_rate(trace: Iterable[TraceRecord]) -> float:
+    """Long-run arrival rate of a trace (requests/second)."""
+    records = list(trace)
+    if len(records) < 2:
+        raise ValueError("need at least two records")
+    span = records[-1].time_s - records[0].time_s
+    if span <= 0:
+        raise ValueError("trace has zero duration")
+    return (len(records) - 1) / span

@@ -1,0 +1,81 @@
+"""The prototype hosts' SCSI disk path, calibrated to Table 2.
+
+§4, footnote 2: "SunOS 4.1.1 allowed the use of synchronous mode on the SCSI
+drives.  This doubled the read data-rate."  Table 2 then reports (sync mode,
+cold cache): sequential read 654-682 KB/s and synchronous sequential write
+314-316 KB/s on the Sun SLC's local SCSI disk.
+
+We model the path as the generic :class:`~repro.simdisk.filesystem.
+LocalFileSystem` with per-block overheads chosen so an 8 KB-block sequential
+transfer lands on those measured rates:
+
+* media rate 1.3 MB/s -> 6.30 ms transfer per 8 KB block;
+* sync-mode read overhead 5.93 ms/block  -> ~670 KB/s sustained;
+* async-mode read overhead 18.15 ms/block -> ~335 KB/s (half, §4 footnote);
+* sync write overhead 19.71 ms/block (rotation miss + track switch)
+  -> ~315 KB/s.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..des import Environment, RandomStream
+from .disk import Disk
+from .filesystem import LocalFileSystem
+from .models import DISK_CATALOG
+
+__all__ = [
+    "ScsiMode",
+    "SCSI_BLOCK_SIZE",
+    "SCSI_READ_OVERHEAD_SYNC_S",
+    "SCSI_READ_OVERHEAD_ASYNC_S",
+    "SCSI_WRITE_OVERHEAD_S",
+    "make_scsi_filesystem",
+]
+
+
+class ScsiMode(enum.Enum):
+    """SCSI transfer mode: SunOS 4.1.1 added SYNCHRONOUS (Table 2 uses it)."""
+
+    SYNCHRONOUS = "synchronous"
+    ASYNCHRONOUS = "asynchronous"
+
+
+#: The prototype-era Unix file system block size.
+SCSI_BLOCK_SIZE = 8192
+
+#: Per-8KB-block software + rotational-miss overheads (seconds), calibrated
+#: so sequential rates match Table 2 (see module docstring).
+SCSI_READ_OVERHEAD_SYNC_S = 0.00566
+SCSI_READ_OVERHEAD_ASYNC_S = 0.01790
+SCSI_WRITE_OVERHEAD_S = 0.01905
+
+
+def make_scsi_filesystem(
+    env: Environment,
+    disk_model: str = "Sun 104MB SCSI",
+    mode: ScsiMode = ScsiMode.SYNCHRONOUS,
+    stream: RandomStream | None = None,
+    cache_blocks: int = 2048,  # 16 MB of RAM on the prototype hosts
+) -> LocalFileSystem:
+    """Build the calibrated local-SCSI file system of a prototype host.
+
+    ``disk_model`` is a key of :data:`repro.simdisk.models.DISK_CATALOG`
+    (the SLC has the 104 MB disk, the SPARCstation 2 the 207 MB one).
+    """
+    spec = DISK_CATALOG[disk_model]
+    disk = Disk(env, spec, stream=stream)
+    if mode is ScsiMode.SYNCHRONOUS:
+        read_overhead = SCSI_READ_OVERHEAD_SYNC_S
+    else:
+        read_overhead = SCSI_READ_OVERHEAD_ASYNC_S
+    return LocalFileSystem(
+        env,
+        disk,
+        block_size=SCSI_BLOCK_SIZE,
+        cache_blocks=cache_blocks,
+        read_block_overhead_s=read_overhead,
+        write_block_overhead_s=SCSI_WRITE_OVERHEAD_S,
+        contiguous_allocation=True,
+    )

@@ -1,0 +1,26 @@
+"""Network substrate: datagrams, shared media, hosts, sockets, topologies."""
+
+from .ethernet import ETHERNET_MTU_PAYLOAD, BackgroundLoad, Ethernet
+from .frames import HEADER_SIZE, Address, Datagram
+from .host import CostModel, DatagramSocket, Host, Interface, mips_cost_model
+from .medium import Medium, MediumStats
+from .token_ring import TokenRing
+from .topology import Network
+
+__all__ = [
+    "Address",
+    "Datagram",
+    "HEADER_SIZE",
+    "Medium",
+    "MediumStats",
+    "Ethernet",
+    "BackgroundLoad",
+    "ETHERNET_MTU_PAYLOAD",
+    "TokenRing",
+    "Host",
+    "Interface",
+    "DatagramSocket",
+    "CostModel",
+    "mips_cost_model",
+    "Network",
+]

@@ -1,0 +1,120 @@
+"""10 Mb/s Ethernet segment — the prototype's interconnect.
+
+Transmission time accounts for IP fragmentation of large UDP datagrams into
+MTU-sized link frames, each paying Ethernet framing overhead (preamble,
+header, CRC) and the inter-frame gap.  With 8 KB datagrams this yields a
+raw-wire goodput of ~1.2 MB/s; the *measured* maximum capacity of
+1.12 MB/s quoted in §4 emerges once host per-packet costs are added (see
+``prototype/calibration.py``).
+
+A :class:`BackgroundLoad` process reproduces the "shared departmental
+Ethernet ... less than 5% of its capacity" conditions of the NFS and
+second-segment measurements.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..des import Environment, RandomStream
+from .medium import Medium
+
+__all__ = ["Ethernet", "BackgroundLoad", "ETHERNET_MTU_PAYLOAD"]
+
+#: IP payload bytes per link frame (1500 MTU minus 20-byte IP header).
+ETHERNET_MTU_PAYLOAD = 1480
+
+#: Ethernet framing bytes per frame: preamble 8 + header 14 + CRC 4 + IP 20.
+_FRAME_OVERHEAD_BYTES = 46
+
+#: 9.6 microsecond inter-frame gap at 10 Mb/s.
+_INTERFRAME_GAP_S = 9.6e-6
+
+
+#: CSMA/CD slot time at 10 Mb/s (512 bit times).
+SLOT_TIME_S = 51.2e-6
+
+
+class Ethernet(Medium):
+    """A single shared 10 Mb/s Ethernet segment.
+
+    With ``contention=True`` the model charges CSMA/CD collision-resolution
+    time: each frame sent while other stations are queued pays an extra
+    backoff drawn per waiting station (an aggregate approximation of
+    truncated binary exponential backoff).  Off by default — the base
+    model is a collision-free ideal cable, which matches the paper's
+    measured capacity well below saturation.
+    """
+
+    def __init__(self, env: Environment, name: str = "ethernet",
+                 bits_per_second: float = 10_000_000.0,
+                 loss_probability: float = 0.0,
+                 loss_stream: RandomStream | None = None,
+                 contention: bool = False,
+                 contention_stream: RandomStream | None = None):
+        super().__init__(env, name, loss_probability, loss_stream)
+        if bits_per_second <= 0:
+            raise ValueError("bits_per_second must be positive")
+        if contention and contention_stream is None:
+            raise ValueError("contention modelling needs a random stream")
+        self.bits_per_second = bits_per_second
+        self.contention = contention
+        self.contention_stream = contention_stream
+
+    def contention_penalty(self, sender_host: str) -> float:
+        """Collision-resolution time for one contended transmission.
+
+        Scales with the number of *other stations* currently fighting for
+        the cable — a lone station streaming back-to-back never collides.
+        """
+        if not self.contention:
+            return 0.0
+        others = self.contending_stations(sender_host)
+        if others <= 0:
+            return 0.0
+        slots = self.contention_stream.uniform(0.0, 4.0 * min(others, 5))
+        return slots * SLOT_TIME_S
+
+    def nominal_capacity(self) -> float:
+        return self.bits_per_second / 8.0
+
+    def transmission_time(self, size: int) -> float:
+        """Cable time for one datagram, including fragmentation overhead."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        fragments = max(1, math.ceil(size / ETHERNET_MTU_PAYLOAD))
+        wire_bytes = size + fragments * _FRAME_OVERHEAD_BYTES
+        return wire_bytes * 8.0 / self.bits_per_second \
+            + fragments * _INTERFRAME_GAP_S
+
+    def goodput_upper_bound(self, datagram_size: int) -> float:
+        """Best-case bytes/second for back-to-back datagrams of that size."""
+        return datagram_size / self.transmission_time(datagram_size)
+
+
+class BackgroundLoad:
+    """Occupies a fraction of a segment — the 'lightly loaded shared' net.
+
+    Holds the cable for ``fraction`` of each (jittered) period, modelling
+    other departmental traffic competing with the measured transfer.
+    """
+
+    def __init__(self, env: Environment, medium: Medium, fraction: float,
+                 stream: RandomStream, period_s: float = 0.005):
+        if not 0.0 <= fraction < 1.0:
+            raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.env = env
+        self.medium = medium
+        self.fraction = fraction
+        self.stream = stream
+        self.period_s = period_s
+        self.process = env.process(self._run()) if fraction > 0 else None
+
+    def _run(self):
+        while True:
+            gap = self.stream.exponential(self.period_s)
+            yield self.env.timeout(gap)
+            busy = gap * self.fraction / max(1e-12, 1.0 - self.fraction)
+            yield from self.medium.occupy(busy)

@@ -1,0 +1,58 @@
+"""Datagrams: the unit of transfer on the simulated networks.
+
+A :class:`Datagram` is what the prototype's light-weight protocol calls a
+"packet": a UDP datagram that the medium fragments into link frames
+internally (the media models account for the per-fragment framing overhead
+in their transmission-time arithmetic, so fragments are never materialised).
+
+``message`` carries an arbitrary protocol object — for data packets it holds
+real payload bytes, so data integrity is checked end to end.  ``size`` is
+the on-the-wire size in bytes; header-only messages have a small size
+regardless of the Python object inside.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Address", "Datagram", "HEADER_SIZE"]
+
+#: UDP/IP header bytes carried by every datagram.
+HEADER_SIZE = 28
+
+_datagram_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Address:
+    """A (host, port) endpoint."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+@dataclass
+class Datagram:
+    """One datagram in flight."""
+
+    src: Address
+    dst: Address
+    size: int  # bytes on the wire, headers included
+    message: Any = None
+    uid: int = field(default_factory=lambda: next(_datagram_ids))
+
+    def __post_init__(self):
+        if self.size < HEADER_SIZE:
+            raise ValueError(
+                f"datagram size {self.size} smaller than header {HEADER_SIZE}"
+            )
+
+    def __repr__(self) -> str:
+        kind = type(self.message).__name__ if self.message is not None else "raw"
+        return (f"<Datagram #{self.uid} {self.src}->{self.dst} "
+                f"{self.size}B {kind}>")

@@ -1,0 +1,94 @@
+"""Network builder: hosts wired to segments, as in Figure 2 of the paper.
+
+The prototype's lab is "a Sparcstation 2 client [on] a dedicated laboratory
+Ethernet with Sparcstation SLC servers, plus a second, shared departmental
+Ethernet reaching more SLC servers".  :class:`Network` builds and owns such
+configurations for both the prototype emulation and the token-ring study.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..des import Environment, StreamFactory
+from .ethernet import BackgroundLoad, Ethernet
+from .host import CostModel, Host
+from .medium import Medium
+from .token_ring import TokenRing
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A collection of named hosts and media in one environment."""
+
+    def __init__(self, env: Environment, streams: Optional[StreamFactory] = None):
+        self.env = env
+        self.streams = streams or StreamFactory(0)
+        self.hosts: dict[str, Host] = {}
+        self.media: dict[str, Medium] = {}
+        self._background: list[BackgroundLoad] = []
+
+    # -- construction ------------------------------------------------------------
+
+    def add_host(self, name: str, send_cost: CostModel = CostModel(),
+                 recv_cost: CostModel = CostModel(),
+                 noise_fraction: float = 0.0) -> Host:
+        """Create a host (names are unique)."""
+        if name in self.hosts:
+            raise ValueError(f"duplicate host name {name!r}")
+        noise_stream = (self.streams.stream(f"noise/{name}")
+                        if noise_fraction else None)
+        host = Host(self.env, name, send_cost, recv_cost,
+                    noise_fraction=noise_fraction,
+                    noise_stream=noise_stream)
+        self.hosts[name] = host
+        return host
+
+    def add_ethernet(self, name: str, loss_probability: float = 0.0,
+                     background_fraction: float = 0.0,
+                     contention: bool = False) -> Ethernet:
+        """Create a 10 Mb/s Ethernet segment, optionally pre-loaded."""
+        if name in self.media:
+            raise ValueError(f"duplicate medium name {name!r}")
+        loss_stream = (self.streams.stream(f"loss/{name}")
+                       if loss_probability else None)
+        contention_stream = (self.streams.stream(f"contention/{name}")
+                             if contention else None)
+        medium = Ethernet(self.env, name, loss_probability=loss_probability,
+                          loss_stream=loss_stream, contention=contention,
+                          contention_stream=contention_stream)
+        self.media[name] = medium
+        if background_fraction:
+            self._background.append(BackgroundLoad(
+                self.env, medium, background_fraction,
+                self.streams.stream(f"background/{name}")))
+        return medium
+
+    def add_token_ring(self, name: str,
+                       bits_per_second: float = 1_000_000_000.0) -> TokenRing:
+        """Create a token ring (default: the §5 gigabit ring)."""
+        if name in self.media:
+            raise ValueError(f"duplicate medium name {name!r}")
+        medium = TokenRing(self.env, name, bits_per_second=bits_per_second)
+        self.media[name] = medium
+        return medium
+
+    def connect(self, host_name: str, medium_name: str,
+                cpu_cost_scale: float = 1.0,
+                tx_queue_packets: int = 16):
+        """Attach a host to a medium; returns the new interface."""
+        host = self.hosts[host_name]
+        medium = self.media[medium_name]
+        return host.attach(medium, cpu_cost_scale=cpu_cost_scale,
+                           tx_queue_packets=tx_queue_packets)
+
+    # -- queries ------------------------------------------------------------------
+
+    def host(self, name: str) -> Host:
+        """Look up a host by name."""
+        return self.hosts[name]
+
+    def medium(self, name: str) -> Medium:
+        """Look up a medium by name."""
+        return self.media[name]

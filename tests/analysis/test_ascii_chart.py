@@ -1,0 +1,59 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis import render_chart
+
+
+def test_render_basic_chart():
+    chart = render_chart(
+        {"up": [(0, 0), (5, 50), (10, 100)],
+         "flat": [(0, 20), (10, 20)]},
+        title="demo", x_label="load", y_label="ms")
+    assert "demo" in chart
+    assert "o = up" in chart
+    assert "* = flat" in chart
+    assert "load" in chart and "ms" in chart
+
+
+def test_marks_appear_in_grid():
+    chart = render_chart({"s": [(0, 0), (1, 1)]})
+    assert "o" in chart
+
+
+def test_y_max_clips_and_marks():
+    chart = render_chart(
+        {"s": [(0, 10), (1, 10_000)]},
+        y_max=100.0)
+    assert "^" in chart  # the clipped point
+    assert "100" in chart
+
+
+def test_empty_series_rejected():
+    with pytest.raises(ValueError):
+        render_chart({})
+    with pytest.raises(ValueError):
+        render_chart({"s": []})
+
+
+def test_tiny_chart_rejected():
+    with pytest.raises(ValueError):
+        render_chart({"s": [(0, 1)]}, width=4)
+
+
+def test_degenerate_ranges_handled():
+    # Single point: both axes collapse; must not divide by zero.
+    chart = render_chart({"s": [(5, 5)]})
+    assert "o" in chart
+
+
+def test_number_formatting_scales():
+    chart = render_chart({"s": [(0, 0), (1, 12_000_000)]})
+    assert "12M" in chart or "1.2" in chart
+
+
+def test_many_series_cycle_marks():
+    series = {f"s{i}": [(0, i), (1, i + 1)] for i in range(10)}
+    chart = render_chart(series)
+    for mark in "o*x+":
+        assert f"{mark} = " in chart

@@ -1,0 +1,34 @@
+"""CSV export."""
+
+import csv
+import io
+
+from repro.analysis import figure_points_to_csv, table_to_csv, write_csv
+from repro.des import SampleSet
+
+
+def test_table_to_csv_columns():
+    rows = {"Read 3 MB": SampleSet([100.0, 102.0, 98.0])}
+    text = table_to_csv(rows)
+    parsed = list(csv.reader(io.StringIO(text)))
+    assert parsed[0] == ["operation", "mean", "stdev", "min", "max",
+                        "ci_low", "ci_high", "samples"]
+    assert parsed[1][0] == "Read 3 MB"
+    assert float(parsed[1][1]) == 100.0
+    assert parsed[1][7] == "3"
+
+
+def test_figure_points_to_csv():
+    from repro.sim import SimConfig, run_once, figure4_series
+    points = figure4_series(rates=(2.0,), disk_counts=(4,), num_requests=60)
+    text = figure_points_to_csv(points)
+    parsed = list(csv.reader(io.StringIO(text)))
+    assert parsed[0][0] == "series"
+    assert parsed[1][0] == "4 disks"
+    assert float(parsed[1][2]) > 0
+
+
+def test_write_csv(tmp_path):
+    path = tmp_path / "out.csv"
+    write_csv(path, "a,b\n1,2\n")
+    assert path.read_text() == "a,b\n1,2\n"

@@ -1,0 +1,55 @@
+"""Table 2 baseline: local SCSI rates must land in the paper's bands."""
+
+import pytest
+
+from repro.baselines import LocalScsiBaseline
+from repro.simdisk import ScsiMode
+
+MB = 1 << 20
+
+
+def test_sync_read_band():
+    baseline = LocalScsiBaseline(seed=3)
+    baseline.prepare_file("f", 3 * MB)
+    rate = baseline.measure_read("f", 3 * MB)
+    assert 630 <= rate <= 700  # paper: 654-682
+
+
+def test_sync_write_band():
+    baseline = LocalScsiBaseline(seed=3)
+    rate = baseline.measure_write("f", 3 * MB)
+    assert 300 <= rate <= 330  # paper: 314-316
+
+
+def test_async_mode_read_half_speed():
+    sync = LocalScsiBaseline(seed=3)
+    sync.prepare_file("f", 3 * MB)
+    sync_rate = sync.measure_read("f", 3 * MB)
+    async_ = LocalScsiBaseline(seed=3, mode=ScsiMode.ASYNCHRONOUS)
+    async_.prepare_file("f", 3 * MB)
+    async_rate = async_.measure_read("f", 3 * MB)
+    assert async_rate == pytest.approx(sync_rate / 2, rel=0.15)
+
+
+def test_warm_cache_reads_are_much_faster():
+    baseline = LocalScsiBaseline(seed=3)
+    baseline.prepare_file("f", MB)
+    cold = baseline.measure_read("f", MB)
+    # No flush this time: everything hits the cache.
+    start = baseline.env.now
+
+    def workload():
+        yield from baseline.filesystem.read("f", 0, MB)
+
+    baseline._run(workload())
+    warm_elapsed = baseline.env.now - start
+    assert warm_elapsed * 20 < MB / 1024 / cold
+
+
+def test_rates_flat_across_sizes():
+    r3 = LocalScsiBaseline(seed=3)
+    r3.prepare_file("f", 3 * MB)
+    r9 = LocalScsiBaseline(seed=3)
+    r9.prepare_file("f", 9 * MB)
+    assert r9.measure_read("f", 9 * MB) == pytest.approx(
+        r3.measure_read("f", 3 * MB), rel=0.05)

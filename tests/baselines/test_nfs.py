@@ -1,0 +1,58 @@
+"""Table 3 baseline: NFS rates and write-through behaviour."""
+
+import pytest
+
+from repro.baselines import NfsBaseline
+
+MB = 1 << 20
+
+
+def test_read_band():
+    baseline = NfsBaseline(seed=5)
+    baseline.prepare_file("f", 3 * MB)
+    rate = baseline.measure_read("f", 3 * MB)
+    assert 430 <= rate <= 510  # paper: 456-488
+
+
+def test_write_band():
+    baseline = NfsBaseline(seed=5)
+    rate = baseline.measure_write("f", 3 * MB)
+    assert 100 <= rate <= 120  # paper: 109-112
+
+
+def test_write_through_hits_server_disk():
+    baseline = NfsBaseline(seed=5)
+    disk = baseline.server.filesystem.disk
+    baseline.measure_write("f", MB)
+    # Every 8 KB block forces at least data + metadata disk operations.
+    blocks = MB // 8192
+    assert disk.blocks_served >= blocks * 3
+
+
+def test_reads_do_not_write_disk():
+    baseline = NfsBaseline(seed=5)
+    baseline.prepare_file("f", MB)
+    disk = baseline.server.filesystem.disk
+    before = disk.blocks_served
+    baseline.measure_read("f", MB)
+    served = disk.blocks_served - before
+    # Reads hit the disk (cold cache) but only about once per block.
+    assert MB // 8192 <= served <= MB // 8192 * 2
+
+
+def test_write_data_lands_exactly():
+    baseline = NfsBaseline(seed=5)
+    baseline.measure_write("f", 100_000)
+    fs = baseline.server.filesystem
+    assert fs.file_size("f") == 100_000
+
+
+def test_nfs_write_much_slower_than_read():
+    # The paper's headline asymmetry: write-through makes NFS writes ~4x
+    # slower than NFS reads.
+    baseline = NfsBaseline(seed=5)
+    baseline.prepare_file("f", 3 * MB)
+    read_rate = baseline.measure_read("f", 3 * MB)
+    writer = NfsBaseline(seed=5)
+    write_rate = writer.measure_write("f", 3 * MB)
+    assert read_rate > 3.5 * write_rate

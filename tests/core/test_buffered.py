@@ -1,0 +1,161 @@
+"""Buffered Swift files: correctness and coalescing behaviour."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import SessionClosed, build_local_swift
+from repro.core.buffered import BufferedSwiftFile
+
+
+@pytest.fixture()
+def deployment():
+    return build_local_swift(num_agents=3)
+
+
+@pytest.fixture()
+def buffered(deployment):
+    client = deployment.client()
+    handle = client.open("obj", "w", striping_unit=8192)
+    return BufferedSwiftFile(handle, buffer_size=4096)
+
+
+def test_buffer_size_validation(buffered):
+    with pytest.raises(ValueError):
+        BufferedSwiftFile(buffered.raw, buffer_size=0)
+
+
+def test_roundtrip_through_buffers(buffered):
+    payload = bytes(range(256)) * 100
+    buffered.write(payload)
+    buffered.seek(0)
+    assert buffered.read(len(payload)) == payload
+
+
+def test_small_writes_coalesce_into_few_protocol_ops(buffered):
+    stats = buffered.raw.stats
+    for index in range(100):
+        buffered.write(bytes([index]) * 40)  # 100 x 40 B = 4000 B
+    buffered.flush()
+    # Unbuffered this would be 100 write ops (>= 200 packets); buffered
+    # it is one coalesced 4000-byte operation.
+    assert stats.packets_sent < 30
+
+
+def test_small_reads_served_from_readahead(buffered):
+    buffered.write(b"r" * 4096)
+    buffered.flush()
+    buffered.seek(0)
+    stats = buffered.raw.stats
+    before = stats.packets_sent
+    for _ in range(64):
+        assert buffered.read(64) == b"r" * 64
+    # One buffer fill, not 64 round trips.
+    assert stats.packets_sent - before <= 4
+
+
+def test_reads_observe_unflushed_writes(buffered):
+    buffered.write(b"A" * 100)
+    buffered.seek(0)
+    assert buffered.read(100) == b"A" * 100  # flushes internally
+
+
+def test_non_contiguous_write_flushes_previous(buffered):
+    buffered.write(b"start")
+    buffered.seek(1000)
+    buffered.write(b"end")
+    buffered.flush()
+    buffered.seek(0)
+    assert buffered.read(5) == b"start"
+    buffered.seek(1000)
+    assert buffered.read(3) == b"end"
+
+
+def test_overwrite_invalidates_read_buffer(buffered):
+    buffered.write(b"x" * 2048)
+    buffered.flush()
+    buffered.seek(0)
+    assert buffered.read(10) == b"x" * 10  # read buffer now holds x's
+    buffered.seek(5)
+    buffered.write(b"YYYYY")
+    buffered.seek(0)
+    assert buffered.read(12) == b"xxxxxYYYYYxx"
+
+
+def test_size_includes_buffered_tail(buffered):
+    buffered.write(b"t" * 10)
+    assert buffered.size == 10          # still only in the buffer
+    assert buffered.raw.size == 0
+    buffered.flush()
+    assert buffered.raw.size == 10
+
+
+def test_autoflush_when_buffer_fills(buffered):
+    buffered.write(b"f" * 5000)  # > buffer_size 4096
+    assert buffered.raw.size >= 5000
+
+
+def test_close_flushes(deployment):
+    client = deployment.client()
+    with BufferedSwiftFile(client.open("c", "w"), buffer_size=1024) as f:
+        f.write(b"persisted")
+    with client.open("c", "r") as check:
+        assert check.pread(0, 9) == b"persisted"
+
+
+def test_closed_rejects_io(buffered):
+    buffered.close()
+    with pytest.raises(SessionClosed):
+        buffered.read(1)
+    with pytest.raises(SessionClosed):
+        buffered.write(b"x")
+
+
+def test_seek_validation(buffered):
+    with pytest.raises(ValueError):
+        buffered.seek(-1)
+    with pytest.raises(ValueError):
+        buffered.seek(0, 99)
+    with pytest.raises(ValueError):
+        buffered.read(-1)
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.binary(min_size=1, max_size=700)),
+        st.tuples(st.just("read"), st.integers(min_value=0, max_value=900)),
+        st.tuples(st.just("seek"), st.integers(min_value=0, max_value=3000)),
+    ),
+    min_size=1, max_size=12,
+)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=operations)
+def test_buffered_matches_reference_file_model(ops):
+    """Property: behaves exactly like a flat file with a cursor."""
+    deployment = build_local_swift(num_agents=3)
+    client = deployment.client()
+    buffered = BufferedSwiftFile(client.open("obj", "w", striping_unit=512),
+                                 buffer_size=256)
+    reference = bytearray()
+    cursor = 0
+    for op in ops:
+        kind, arg = op
+        if kind == "write":
+            if len(reference) < cursor + len(arg):
+                reference.extend(
+                    b"\x00" * (cursor + len(arg) - len(reference)))
+            reference[cursor:cursor + len(arg)] = arg
+            buffered.write(arg)
+            cursor += len(arg)
+        elif kind == "read":
+            expected = bytes(reference[cursor:cursor + arg])
+            assert buffered.read(arg) == expected
+            cursor += len(expected)
+        else:
+            cursor = arg
+            buffered.seek(arg)
+    buffered.flush()
+    buffered.seek(0)
+    assert buffered.read(len(reference) + 10) == bytes(reference)

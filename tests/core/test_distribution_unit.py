@@ -1,0 +1,122 @@
+"""Distribution-agent unit behaviour not covered by the end-to-end tests."""
+
+import pytest
+
+from repro.core import DistributionAgent, build_local_swift
+from repro.core.client import SwiftClient
+from repro.core.distribution import SwiftUsageError
+
+
+@pytest.fixture()
+def deployment():
+    return build_local_swift(num_agents=3)
+
+
+def make_engine(deployment, **kwargs):
+    options = dict(striping_unit=4096, packet_size=4096)
+    options.update(kwargs)
+    return DistributionAgent(
+        deployment.env, deployment.network.host("client"),
+        ["agent0", "agent1", "agent2"], "obj", **options)
+
+
+def run(deployment, gen):
+    env = deployment.env
+    return env.run(until=env.process(gen))
+
+
+def test_constructor_validation(deployment):
+    host = deployment.network.host("client")
+    with pytest.raises(ValueError):
+        DistributionAgent(deployment.env, host, [], "obj")
+    with pytest.raises(ValueError):
+        DistributionAgent(deployment.env, host, ["a", "b"], "obj",
+                          parity=True)
+    with pytest.raises(ValueError):
+        DistributionAgent(deployment.env, host, ["a"], "obj", packet_size=0)
+
+
+def test_io_before_open_rejected(deployment):
+    engine = make_engine(deployment)
+    with pytest.raises(SwiftUsageError):
+        run(deployment, engine.read(0, 10))
+    with pytest.raises(SwiftUsageError):
+        run(deployment, engine.write(0, b"x"))
+
+
+def test_negative_offsets_rejected(deployment):
+    engine = make_engine(deployment)
+    run(deployment, engine.open(create=True))
+    with pytest.raises(ValueError):
+        run(deployment, engine.read(-1, 10))
+    with pytest.raises(ValueError):
+        run(deployment, engine.write(-1, b"x"))
+
+
+def test_empty_write_is_noop(deployment):
+    engine = make_engine(deployment)
+    run(deployment, engine.open(create=True))
+    assert run(deployment, engine.write(0, b"")) == 0
+    assert engine.size == 0
+
+
+def test_zero_read_returns_empty(deployment):
+    engine = make_engine(deployment)
+    run(deployment, engine.open(create=True))
+    run(deployment, engine.write(0, b"data"))
+    assert run(deployment, engine.read(2, 0)) == b""
+
+
+def test_packets_counted(deployment):
+    engine = make_engine(deployment)
+    run(deployment, engine.open(create=True))
+    run(deployment, engine.write(0, b"z" * 20_000))
+    sent_after_write = engine.stats.packets_sent
+    # 3 opens + (per agent: WriteRequest + data packets).
+    assert sent_after_write >= 3 + 3 + 5
+    run(deployment, engine.read(0, 20_000))
+    assert engine.stats.packets_received > 0
+
+
+def test_write_smaller_than_one_unit_hits_one_agent(deployment):
+    engine = make_engine(deployment, striping_unit=8192)
+    run(deployment, engine.open(create=True))
+    run(deployment, engine.write(0, b"small"))
+    sizes = [deployment.agent(ch.agent_host).filesystem.file_size("obj")
+             if deployment.agent(ch.agent_host).filesystem.exists("obj")
+             else 0
+             for ch in engine.data_channels]
+    assert sizes[0] == 5
+    assert sizes[1] == sizes[2] == 0
+
+
+def test_interpacket_gap_slows_simulated_writes(deployment):
+    engine = make_engine(deployment, interpacket_gap_s=0.01)
+    env = deployment.env
+    run(deployment, engine.open(create=True))
+    before = env.now
+    run(deployment, engine.write(0, b"q" * 40_960))  # 10 packets
+    elapsed = env.now - before
+    # Writers run in parallel; the busiest agent gets 4 packets, each
+    # followed by the configured gap.
+    assert elapsed >= 0.01 * 4 - 1e-9
+
+
+def test_engine_options_passthrough(deployment):
+    client = SwiftClient(deployment.env,
+                         deployment.network.host("client"),
+                         mediator=deployment.mediator,
+                         max_retries=3, read_timeout_s=0.123)
+    handle = client.open("obj", "w")
+    assert handle.engine.max_retries == 3
+    assert handle.engine.read_timeout_s == 0.123
+    handle.close()
+
+
+def test_rebuild_wrong_conditions(deployment):
+    engine = make_engine(deployment)
+    run(deployment, engine.open(create=True))
+    run(deployment, engine.write(0, b"x" * 100))
+    from repro.core import AgentFailure
+    with pytest.raises(AgentFailure):
+        run(deployment, engine.rebuild_agent(0))  # no parity configured

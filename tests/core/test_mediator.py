@@ -1,0 +1,142 @@
+"""Storage mediator: admission control and the striping-unit policy."""
+
+import pytest
+
+from repro.core import (
+    MAX_STRIPING_UNIT,
+    MIN_STRIPING_UNIT,
+    AdmissionError,
+    StorageMediator,
+)
+
+MB = 1 << 20
+
+
+def make_mediator(num_agents=4, bandwidth=1.0 * MB, capacity=100 * MB,
+                  network_capacity=float("inf")):
+    mediator = StorageMediator(network_capacity=network_capacity)
+    for index in range(num_agents):
+        mediator.register_agent(f"agent{index}", bandwidth, capacity)
+    return mediator
+
+
+def test_register_validation():
+    mediator = StorageMediator()
+    mediator.register_agent("a", 1e6, 1 << 20)
+    with pytest.raises(ValueError):
+        mediator.register_agent("a", 1e6, 1 << 20)
+    with pytest.raises(ValueError):
+        mediator.register_agent("b", 0, 1 << 20)
+
+
+def test_best_effort_session_uses_all_agents():
+    mediator = make_mediator(4)
+    session = mediator.negotiate("obj", object_size=MB)
+    assert len(session.plan.agent_hosts) == 4
+    assert session.plan.striping_unit == MAX_STRIPING_UNIT
+
+
+def test_high_rate_gets_small_unit():
+    mediator = make_mediator(8)
+    low = mediator.choose_striping_unit(data_rate=0.2 * MB, num_agents=4)
+    high = mediator.choose_striping_unit(data_rate=20 * MB, num_agents=4)
+    assert low <= high or low == MIN_STRIPING_UNIT
+    # The paper's policy: low rates -> large unit; high rates -> unit small
+    # *relative to the request*, here clamped to the allowed range.
+    assert mediator.choose_striping_unit(0.0, 4) == MAX_STRIPING_UNIT
+    assert MIN_STRIPING_UNIT <= high <= MAX_STRIPING_UNIT
+
+
+def test_unit_clamped_to_bounds():
+    mediator = make_mediator()
+    assert mediator.choose_striping_unit(1.0, 1) == MIN_STRIPING_UNIT
+    assert mediator.choose_striping_unit(1e12, 1) == MAX_STRIPING_UNIT
+
+
+def test_rate_selects_enough_agents():
+    mediator = make_mediator(8, bandwidth=1.0 * MB)
+    session = mediator.negotiate("obj", object_size=MB, data_rate=2.5 * MB)
+    assert len(session.plan.agent_hosts) == 3  # ceil(2.5) agents
+
+
+def test_admission_rejects_impossible_rate():
+    # §2: "storage mediators will reject any request with requirements it
+    # is unable to satisfy."
+    mediator = make_mediator(3, bandwidth=1.0 * MB)
+    with pytest.raises(AdmissionError):
+        mediator.negotiate("obj", object_size=MB, data_rate=10 * MB)
+
+
+def test_admission_rejects_insufficient_storage():
+    mediator = make_mediator(2, capacity=10 * MB)
+    with pytest.raises(AdmissionError):
+        mediator.negotiate("obj", object_size=100 * MB)
+
+
+def test_reservations_reduce_availability():
+    mediator = make_mediator(2, bandwidth=1.0 * MB)
+    mediator.negotiate("a", object_size=MB, data_rate=1.5 * MB)
+    with pytest.raises(AdmissionError):
+        mediator.negotiate("b", object_size=MB, data_rate=1.5 * MB)
+
+
+def test_session_close_releases_resources():
+    mediator = make_mediator(2, bandwidth=1.0 * MB)
+    session = mediator.negotiate("a", object_size=MB, data_rate=1.5 * MB)
+    session.close()
+    # Now the same request is admissible again.
+    again = mediator.negotiate("b", object_size=MB, data_rate=1.5 * MB)
+    assert again.plan.object_name == "b"
+
+
+def test_session_close_idempotent():
+    mediator = make_mediator(2)
+    session = mediator.negotiate("a", object_size=MB)
+    session.close()
+    session.close()
+    assert not session.open
+
+
+def test_network_capacity_enforced():
+    mediator = make_mediator(4, network_capacity=2.0 * MB)
+    mediator.negotiate("a", object_size=MB, data_rate=1.5 * MB)
+    with pytest.raises(AdmissionError):
+        mediator.negotiate("b", object_size=MB, data_rate=1.0 * MB)
+
+
+def test_parity_session_gets_extra_agent():
+    mediator = make_mediator(4, bandwidth=1.0 * MB)
+    session = mediator.negotiate("obj", object_size=MB, data_rate=1.5 * MB,
+                                 parity=True)
+    assert session.plan.parity
+    assert len(session.plan.agent_hosts) == 3  # 2 data + 1 parity
+    assert session.plan.num_data_agents == 2
+
+
+def test_parity_impossible_when_all_agents_busy_for_rate():
+    mediator = make_mediator(2, bandwidth=1.0 * MB)
+    with pytest.raises(AdmissionError):
+        mediator.negotiate("obj", object_size=MB, data_rate=1.8 * MB,
+                           parity=True)
+
+
+def test_explicit_striping_unit_respected():
+    mediator = make_mediator()
+    session = mediator.negotiate("obj", object_size=MB, striping_unit=12345)
+    assert session.plan.striping_unit == 12345
+
+
+def test_least_loaded_agents_preferred():
+    mediator = make_mediator(4, bandwidth=1.0 * MB)
+    first = mediator.negotiate("a", object_size=MB, data_rate=0.5 * MB)
+    second = mediator.negotiate("b", object_size=MB, data_rate=0.5 * MB)
+    # The second session should avoid the agent the first one loaded.
+    assert set(first.plan.agent_hosts).isdisjoint(second.plan.agent_hosts)
+
+
+def test_negotiate_validation():
+    mediator = make_mediator()
+    with pytest.raises(ValueError):
+        mediator.negotiate("obj", object_size=-1)
+    with pytest.raises(ValueError):
+        StorageMediator(network_capacity=0)

@@ -1,0 +1,87 @@
+"""Odds and ends: sessions, errors, deployment helpers, reprs."""
+
+import pytest
+
+from repro.core import (
+    AdmissionError,
+    AgentFailure,
+    ObjectNotFound,
+    Reservation,
+    SessionClosed,
+    StorageMediator,
+    SwiftError,
+    TransferError,
+    build_local_swift,
+)
+
+MB = 1 << 20
+
+
+def test_error_hierarchy():
+    for error in (AdmissionError, ObjectNotFound, AgentFailure,
+                  TransferError, SessionClosed):
+        assert issubclass(error, SwiftError)
+    assert issubclass(SwiftError, Exception)
+
+
+def test_reservation_validation():
+    with pytest.raises(ValueError):
+        Reservation("a", bandwidth=-1.0, storage_bytes=0)
+    with pytest.raises(ValueError):
+        Reservation("a", bandwidth=0.0, storage_bytes=-1)
+
+
+def test_session_repr_and_totals():
+    mediator = StorageMediator()
+    for index in range(3):
+        mediator.register_agent(f"a{index}", 1.0 * MB, 64 * MB)
+    session = mediator.negotiate("obj", object_size=MB, data_rate=1.5 * MB)
+    assert session.total_reserved_bandwidth == pytest.approx(1.5 * MB)
+    text = repr(session)
+    assert "open" in text
+    session.close()
+    assert "closed" in repr(session)
+
+
+def test_deployment_validation():
+    with pytest.raises(ValueError):
+        build_local_swift(num_agents=0)
+    with pytest.raises(ValueError):
+        build_local_swift(num_agents=2, parity=True)
+
+
+def test_replace_agent_requires_crash_first():
+    deployment = build_local_swift(num_agents=3)
+    with pytest.raises(ValueError):
+        deployment.replace_agent("agent0")
+
+
+def test_crash_agent_repr():
+    deployment = build_local_swift(num_agents=3)
+    agent = deployment.agent("agent1")
+    assert "up" in repr(agent)
+    deployment.crash_agent("agent1")
+    assert "CRASHED" in repr(agent)
+
+
+def test_striping_layout_repr():
+    from repro.core import StripeLayout
+    assert "agents=3" in repr(StripeLayout(3, 4096))
+
+
+def test_transfer_stats_repr_is_dataclass():
+    from repro.core import TransferStats
+    stats = TransferStats()
+    assert "packets_sent=0" in repr(stats)
+
+
+def test_mediator_lookup_missing_agent():
+    mediator = StorageMediator()
+    with pytest.raises(KeyError):
+        mediator.agent("nope")
+
+
+def test_choose_striping_unit_validation():
+    mediator = StorageMediator()
+    with pytest.raises(ValueError):
+        mediator.choose_striping_unit(1.0, 0)

@@ -1,0 +1,127 @@
+"""Namespace operations and the mediator's object catalog."""
+
+import pytest
+
+from repro.core import AdmissionError, build_local_swift
+from repro.core.namespace import NamespaceClient
+
+
+@pytest.fixture()
+def deployment():
+    return build_local_swift(num_agents=3)
+
+
+@pytest.fixture()
+def client(deployment):
+    return deployment.client()
+
+
+def test_list_objects_union(client):
+    assert client.list_objects() == []
+    for name in ["zeta", "alpha", "mid"]:
+        with client.open(name, "w") as f:
+            f.write(b"x" * 100)
+    assert client.list_objects() == ["alpha", "mid", "zeta"]
+
+
+def test_exists(client):
+    assert not client.exists("ghost")
+    with client.open("real", "w") as f:
+        f.write(b"payload")
+    assert client.exists("real")
+
+
+def test_remove_deletes_everywhere(deployment, client):
+    with client.open("victim", "w") as f:
+        f.write(b"v" * 200_000)  # spans all agents
+    assert client.remove("victim") is True
+    assert not client.exists("victim")
+    for agent in deployment.agents.values():
+        assert "victim" not in agent.filesystem.list_files()
+
+
+def test_remove_is_idempotent(client):
+    with client.open("once", "w") as f:
+        f.write(b"1")
+    assert client.remove("once") is True
+    assert client.remove("once") is False
+
+
+def test_remove_forgets_catalog_entry(deployment, client):
+    with client.open("obj", "w", striping_unit=4096) as f:
+        f.write(b"a" * 10_000)
+    assert "obj" in deployment.mediator.catalog
+    client.remove("obj")
+    assert "obj" not in deployment.mediator.catalog
+
+
+def test_reopen_reuses_stored_layout(deployment, client):
+    # Create with a 4 KB unit via an explicit request...
+    with client.open("obj", "w", striping_unit=4096) as f:
+        f.write(bytes(range(256)) * 200)
+    # ...reopen without specifying anything: the catalog must hand back
+    # the same unit, or the stripes would be misread.
+    with client.open("obj", "r") as f:
+        assert f.engine.layout.striping_unit == 4096
+        assert f.pread(0, 256) == bytes(range(256))
+
+
+def test_conflicting_explicit_unit_refused(client):
+    with client.open("obj", "w", striping_unit=4096) as f:
+        f.write(b"q" * 1000)
+    with pytest.raises(AdmissionError):
+        client.open("obj", "r", striping_unit=8192)
+
+
+def test_reopen_parity_object_keeps_parity():
+    deployment = build_local_swift(num_agents=4, parity=True)
+    client = deployment.client()
+    with client.open("obj", "w", parity=True) as f:
+        f.write(b"z" * 100_000)
+    with client.open("obj", "r") as f:  # parity not re-requested
+        assert f.engine.parity
+        assert f.pread(0, 5) == b"zzzzz"
+
+
+def test_namespace_client_validation(deployment):
+    with pytest.raises(ValueError):
+        NamespaceClient(deployment.env,
+                        deployment.network.host("client"), [])
+
+
+def test_namespace_survives_lossy_network():
+    from repro.des import Environment, StreamFactory
+    from repro.simdisk import Disk, LocalFileSystem
+    from repro.simnet import Network
+    from repro.core import StorageAgent
+    from repro.core.deployment import INSTANT_DISK
+
+    env = Environment()
+    net = Network(env, StreamFactory(17))
+    net.add_ethernet("lan", loss_probability=0.25)
+    client_host = net.add_host("client")
+    net.connect("client", "lan", tx_queue_packets=1024)
+    host = net.add_host("agent0")
+    net.connect("agent0", "lan", tx_queue_packets=1024)
+    fs = LocalFileSystem(env, Disk(env, INSTANT_DISK))
+    fs.create("precious")
+    StorageAgent(env, host, fs)
+    namespace = NamespaceClient(env, client_host, ["agent0"],
+                                timeout_s=0.05, max_retries=40)
+
+    def run(gen):
+        return env.run(until=env.process(gen))
+
+    assert run(namespace.list_objects()) == ["precious"]
+    assert run(namespace.exists("precious"))
+    assert run(namespace.remove("precious"))
+    assert not run(namespace.exists("precious"))
+
+
+def test_mediatorless_client_namespace(deployment):
+    client = deployment.direct_client()
+    with client.open("obj", "w") as f:
+        f.write(b"direct")
+    assert client.list_objects() == ["obj"]
+    assert client.remove("obj")
+    assert client.list_objects() == []

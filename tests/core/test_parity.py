@@ -1,0 +1,102 @@
+"""XOR parity: compute, reconstruct, incremental update."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import compute_parity, reconstruct_unit, update_parity, xor_bytes
+
+
+def test_xor_bytes_basic():
+    assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+
+
+def test_xor_bytes_pads_shorter():
+    assert xor_bytes(b"\xff", b"\x01\x02") == b"\xfe\x02"
+    assert xor_bytes(b"\x01\x02", b"\xff") == b"\xfe\x02"
+
+
+def test_xor_identity_and_self_inverse():
+    data = b"swift"
+    assert xor_bytes(data, b"\x00" * 5) == data
+    assert xor_bytes(data, data) == b"\x00" * 5
+
+
+def test_compute_parity_known():
+    parity = compute_parity([b"\x01", b"\x02", b"\x04"], unit_size=1)
+    assert parity == b"\x07"
+
+
+def test_compute_parity_pads_short_units():
+    parity = compute_parity([b"\xff\xff", b"\x0f"], unit_size=4)
+    assert parity == b"\xf0\xff\x00\x00"
+
+
+def test_compute_parity_validation():
+    with pytest.raises(ValueError):
+        compute_parity([], unit_size=4)
+    with pytest.raises(ValueError):
+        compute_parity([b"12345"], unit_size=4)
+    with pytest.raises(ValueError):
+        compute_parity([b"x"], unit_size=0)
+
+
+def test_reconstruct_recovers_missing_unit():
+    units = [b"abcd", b"efgh", b"ijkl"]
+    parity = compute_parity(units, 4)
+    for missing in range(3):
+        survivors = [u for i, u in enumerate(units) if i != missing]
+        assert reconstruct_unit(survivors, parity, 4) == units[missing]
+
+
+def test_reconstruct_validation():
+    with pytest.raises(ValueError):
+        reconstruct_unit([b"ab"], b"ab", unit_size=4)  # short parity
+    with pytest.raises(ValueError):
+        reconstruct_unit([b"abcde"], b"abcd", unit_size=4)  # long unit
+
+
+def test_update_parity_matches_recompute():
+    units = [b"abcd", b"efgh", b"ijkl"]
+    parity = compute_parity(units, 4)
+    new_unit1 = b"WXYZ"
+    updated = update_parity(units[1], new_unit1, parity, 4)
+    assert updated == compute_parity([units[0], new_unit1, units[2]], 4)
+
+
+def test_update_parity_validation():
+    with pytest.raises(ValueError):
+        update_parity(b"ab", b"cd", b"ab", unit_size=4)
+    with pytest.raises(ValueError):
+        update_parity(b"abcde", b"cd", b"abcd", unit_size=4)
+
+
+units_strategy = st.lists(st.binary(min_size=0, max_size=64),
+                          min_size=1, max_size=8)
+
+
+@given(units_strategy)
+def test_parity_roundtrip_property(units):
+    unit_size = 64
+    parity = compute_parity(units, unit_size)
+    for missing in range(len(units)):
+        survivors = [u for i, u in enumerate(units) if i != missing]
+        rebuilt = reconstruct_unit(survivors, parity, unit_size)
+        padded = units[missing].ljust(unit_size, b"\x00")
+        assert rebuilt == padded
+
+
+@given(units_strategy, st.integers(min_value=0, max_value=7),
+       st.binary(min_size=0, max_size=64))
+def test_incremental_update_property(units, index, new_data):
+    unit_size = 64
+    index = index % len(units)
+    parity = compute_parity(units, unit_size)
+    updated = update_parity(units[index], new_data, parity, unit_size)
+    replaced = list(units)
+    replaced[index] = new_data
+    assert updated == compute_parity(replaced, unit_size)
+
+
+@given(st.binary(max_size=32), st.binary(max_size=32))
+def test_xor_commutative_property(a, b):
+    assert xor_bytes(a, b) == xor_bytes(b, a)

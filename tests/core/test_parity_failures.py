@@ -1,0 +1,156 @@
+"""Redundancy: degraded reads/writes, reconstruction, rebuild."""
+
+import pytest
+
+from repro.core import AgentFailure, build_local_swift
+
+
+@pytest.fixture()
+def deployment():
+    return build_local_swift(num_agents=4, parity=True)
+
+
+@pytest.fixture()
+def swift_file(deployment):
+    client = deployment.client()
+    f = client.open("obj", "w", parity=True)
+    yield f
+
+
+PAYLOAD = bytes((i * 31 + 7) % 256 for i in range(120_000))
+
+
+def crash_data_agent(deployment, swift_file, index):
+    engine = swift_file.engine
+    victim = engine.data_channels[index].agent_host
+    deployment.crash_agent(victim)
+    engine.mark_failed(index)
+    engine.read_timeout_s = 0.01
+    engine.ack_timeout_s = 0.01
+    return victim
+
+
+def test_parity_files_written(deployment, swift_file):
+    swift_file.write(PAYLOAD)
+    engine = swift_file.engine
+    parity_host = engine.parity_channel.agent_host
+    fs = deployment.agent(parity_host).filesystem
+    # One full parity unit per touched stripe.
+    unit = engine.layout.striping_unit
+    stripes = engine.layout.stripe_of(len(PAYLOAD) - 1) + 1
+    assert fs.file_size("obj") == stripes * unit
+
+
+def test_degraded_read_recovers_exact_bytes(deployment, swift_file):
+    swift_file.write(PAYLOAD)
+    crash_data_agent(deployment, swift_file, 0)
+    assert swift_file.pread(0, len(PAYLOAD)) == PAYLOAD
+    assert swift_file.stats.reconstructed_units > 0
+
+
+def test_degraded_read_any_single_agent(deployment):
+    client = deployment.client()
+    for index in range(2):  # the plan has some data agents; try each
+        name = f"obj{index}"
+        f = client.open(name, "w", parity=True)
+        f.write(PAYLOAD)
+        num_data = f.engine.layout.num_agents
+        if index >= num_data:
+            break
+        crash_data_agent(deployment, f, index)
+        assert f.pread(0, len(PAYLOAD)) == PAYLOAD
+        # Revive for the next iteration.
+        deployment.replace_agent(f.engine.data_channels[index].agent_host)
+        f.engine.channels[index].failed = False
+
+
+def test_degraded_write_keeps_object_consistent(deployment, swift_file):
+    swift_file.write(PAYLOAD)
+    crash_data_agent(deployment, swift_file, 1)
+    patch = bytes(reversed(range(256))) * 40
+    swift_file.pwrite(33_000, patch)
+    expected = bytearray(PAYLOAD)
+    expected[33_000:33_000 + len(patch)] = patch
+    assert swift_file.pread(0, len(PAYLOAD)) == bytes(expected)
+
+
+def test_degraded_append_grows_object(deployment, swift_file):
+    swift_file.write(PAYLOAD)
+    crash_data_agent(deployment, swift_file, 0)
+    swift_file.pwrite(len(PAYLOAD), b"tail" * 100)
+    assert swift_file.size == len(PAYLOAD) + 400
+    assert swift_file.pread(len(PAYLOAD), 400) == b"tail" * 100
+
+
+def test_two_failures_exceed_redundancy(deployment, swift_file):
+    swift_file.write(PAYLOAD)
+    crash_data_agent(deployment, swift_file, 0)
+    crash_data_agent(deployment, swift_file, 1)
+    with pytest.raises(AgentFailure):
+        swift_file.pread(0, len(PAYLOAD))
+
+
+def test_parity_plus_data_failure_is_fatal(deployment, swift_file):
+    swift_file.write(PAYLOAD)
+    engine = swift_file.engine
+    crash_data_agent(deployment, swift_file, 0)
+    parity_index = engine.parity_channel.index
+    deployment.crash_agent(engine.parity_channel.agent_host)
+    engine.mark_failed(parity_index)
+    with pytest.raises(AgentFailure):
+        swift_file.pread(0, len(PAYLOAD))
+
+
+def test_rebuild_data_agent_restores_redundancy(deployment, swift_file):
+    swift_file.write(PAYLOAD)
+    engine = swift_file.engine
+    victim = crash_data_agent(deployment, swift_file, 1)
+    deployment.replace_agent(victim)
+    env = deployment.env
+    env.run(until=env.process(engine.rebuild_agent(1)))
+    assert engine.failed_agents == []
+    # The replacement holds exactly the right bytes: read it directly.
+    layout = engine.layout
+    fs = deployment.agent(victim).filesystem
+    local = _read_all(env, fs, "obj")
+    assert len(local) == layout.agent_lengths(len(PAYLOAD))[1]
+    for start in range(0, len(local), layout.striping_unit):
+        logical = layout.logical_offset(1, start)
+        span = min(layout.striping_unit, len(local) - start)
+        assert local[start:start + span] == PAYLOAD[logical:logical + span]
+
+
+def test_rebuild_parity_agent(deployment, swift_file):
+    swift_file.write(PAYLOAD)
+    engine = swift_file.engine
+    parity_channel = engine.parity_channel
+    deployment.crash_agent(parity_channel.agent_host)
+    engine.mark_failed(parity_channel.index)
+    engine.read_timeout_s = 0.01
+    deployment.replace_agent(parity_channel.agent_host)
+    env = deployment.env
+    env.run(until=env.process(engine.rebuild_agent(parity_channel.index)))
+    # Now a data agent can fail and the object still reads back.
+    crash_data_agent(deployment, swift_file, 0)
+    assert swift_file.pread(0, len(PAYLOAD)) == PAYLOAD
+
+
+def test_rebuild_without_parity_rejected():
+    deployment = build_local_swift(num_agents=3)
+    client = deployment.client()
+    f = client.open("obj", "w")
+    f.write(b"x" * 1000)
+    env = deployment.env
+    with pytest.raises(AgentFailure):
+        env.run(until=env.process(f.engine.rebuild_agent(0)))
+
+
+def _read_all(env, fs, name):
+    result = {}
+
+    def reader():
+        result["data"] = yield from fs.read(name, 0, fs.file_size(name))
+
+    env.process(reader())
+    env.run()
+    return result["data"]

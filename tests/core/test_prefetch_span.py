@@ -1,0 +1,70 @@
+"""Agent clustered read-ahead (prefetch span)."""
+
+import pytest
+
+from repro.core import DistributionAgent, StorageAgent
+from repro.des import Environment, StreamFactory
+from repro.simdisk import make_scsi_filesystem
+from repro.simnet import Network, mips_cost_model
+
+KB = 1 << 10
+
+
+def test_span_validation():
+    env = Environment()
+    net = Network(env)
+    net.add_ethernet("lan")
+    host = net.add_host("a")
+    net.connect("a", "lan")
+    fs = make_scsi_filesystem(env)
+    with pytest.raises(ValueError):
+        StorageAgent(env, host, fs, prefetch_span=0)
+
+
+def build(span, seed=5):
+    env = Environment()
+    net = Network(env, StreamFactory(seed))
+    net.add_token_ring("ring")
+    cost = mips_cost_model(100.0)
+    client = net.add_host("client", send_cost=cost, recv_cost=cost)
+    net.connect("client", "ring", tx_queue_packets=256)
+    net.add_host("agent0", send_cost=cost, recv_cost=cost)
+    net.connect("agent0", "ring", tx_queue_packets=256)
+    fs = make_scsi_filesystem(env)
+    agent = StorageAgent(env, net.host("agent0"), fs, prefetch_span=span,
+                         socket_buffer=256)
+    engine = DistributionAgent(env, client, ["agent0"], "obj",
+                               striping_unit=8 * KB, packet_size=8 * KB)
+    return env, engine, agent
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def measure_stream_rate(span):
+    env, engine, agent = build(span)
+    size = 512 * KB
+    run(env, engine.open(create=True))
+    run(env, engine.write(0, b"s" * size))
+    agent.filesystem.flush_cache()
+    start = env.now
+    run(env, engine.read(0, size))
+    return size / KB / (env.now - start)
+
+
+def test_deeper_span_does_not_slow_single_stream():
+    shallow = measure_stream_rate(1)
+    deep = measure_stream_rate(8)
+    assert deep >= 0.95 * shallow
+
+
+def test_no_duplicate_fetches_despite_prefetch_overlap():
+    # Requests race the in-flight prefetch for the same blocks; in-flight
+    # deduplication must keep the disk at exactly one fetch per block.
+    env, engine, agent = build(4)
+    run(env, engine.open(create=True))
+    run(env, engine.write(0, b"p" * (256 * KB)))
+    agent.filesystem.flush_cache()
+    run(env, engine.read(0, 256 * KB))
+    assert agent.filesystem.disk.blocks_served == 256 // 8

@@ -1,0 +1,65 @@
+"""Proactive failure detection via health probes."""
+
+import pytest
+
+from repro.core import build_local_swift
+
+
+@pytest.fixture()
+def deployment():
+    return build_local_swift(num_agents=4, parity=True)
+
+
+def run(deployment, gen):
+    env = deployment.env
+    return env.run(until=env.process(gen))
+
+
+def test_probe_all_healthy(deployment):
+    client = deployment.client()
+    handle = client.open("obj", "w", parity=True)
+    handle.write(b"x" * 50_000)
+    failed = run(deployment, handle.engine.probe_agents())
+    assert failed == []
+
+
+def test_probe_detects_crash_before_data_path(deployment):
+    client = deployment.client()
+    handle = client.open("obj", "w", parity=True)
+    handle.write(b"x" * 50_000)
+    engine = handle.engine
+    victim = engine.data_channels[1]
+    deployment.crash_agent(victim.agent_host)
+    failed = run(deployment, engine.probe_agents(timeout_s=0.02))
+    assert failed == [victim.index]
+    # With the failure already marked, the next read goes degraded
+    # immediately (no data-path timeout needed).
+    engine.read_timeout_s = 5.0  # would be painful if hit
+    before = deployment.env.now
+    data = handle.pread(0, 50_000)
+    assert data == b"x" * 50_000
+    assert deployment.env.now - before < 1.0
+
+
+def test_probe_skips_already_failed_channels(deployment):
+    client = deployment.client()
+    handle = client.open("obj", "w", parity=True)
+    handle.write(b"q" * 1000)
+    engine = handle.engine
+    engine.mark_failed(0)
+    sent_before = engine.stats.packets_sent
+    failed = run(deployment, engine.probe_agents(timeout_s=0.02))
+    assert 0 in failed
+    # No probe traffic to a channel already known dead.
+    probes = engine.stats.packets_sent - sent_before
+    assert probes <= (len(engine.channels) - 1) * 2
+
+
+def test_probe_counts_traffic(deployment):
+    client = deployment.client()
+    handle = client.open("obj", "w", parity=True)
+    handle.write(b"z")
+    engine = handle.engine
+    before = engine.stats.packets_received
+    run(deployment, engine.probe_agents())
+    assert engine.stats.packets_received >= before + len(engine.channels)

@@ -1,0 +1,184 @@
+"""Stripe layout arithmetic, including property-based inverses."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import StripeLayout
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        StripeLayout(0, 8192)
+    with pytest.raises(ValueError):
+        StripeLayout(3, 0)
+
+
+def test_stripe_width():
+    assert StripeLayout(3, 8192).stripe_width == 24576
+
+
+def test_locate_first_stripe():
+    layout = StripeLayout(3, 100)
+    assert layout.locate(0) == (0, 0)
+    assert layout.locate(99) == (0, 99)
+    assert layout.locate(100) == (1, 0)
+    assert layout.locate(250) == (2, 50)
+
+
+def test_locate_second_stripe():
+    layout = StripeLayout(3, 100)
+    assert layout.locate(300) == (0, 100)
+    assert layout.locate(499) == (1, 199)
+
+
+def test_chunks_cover_request_exactly():
+    layout = StripeLayout(3, 100)
+    chunks = list(layout.chunks(50, 400))
+    assert sum(c.length for c in chunks) == 400
+    assert chunks[0].logical_offset == 50
+    # Consecutive in logical space.
+    for before, after in zip(chunks, chunks[1:]):
+        assert after.logical_offset == before.logical_offset + before.length
+
+
+def test_chunks_respect_unit_boundaries():
+    layout = StripeLayout(3, 100)
+    for chunk in layout.chunks(50, 1000):
+        start_unit = chunk.agent_offset // 100
+        end_unit = (chunk.agent_offset + chunk.length - 1) // 100
+        assert start_unit == end_unit
+
+
+def test_chunks_zero_length():
+    layout = StripeLayout(3, 100)
+    assert list(layout.chunks(10, 0)) == []
+
+
+def test_agent_segments_grouping():
+    layout = StripeLayout(3, 100)
+    segments = layout.agent_segments(0, 600)
+    assert set(segments) == {0, 1, 2}
+    for agent, chunks in segments.items():
+        assert all(c.agent == agent for c in chunks)
+        offsets = [c.agent_offset for c in chunks]
+        assert offsets == sorted(offsets)
+
+
+def test_agent_region_is_contiguous():
+    # Each agent's share of one contiguous logical request is contiguous
+    # in its local file — the distribution agent relies on this.
+    layout = StripeLayout(4, 64)
+    for offset in [0, 10, 64, 100, 250]:
+        for length in [1, 63, 64, 65, 500, 1024]:
+            for chunks in layout.agent_segments(offset, length).values():
+                expected = chunks[0].agent_offset
+                for chunk in chunks:
+                    assert chunk.agent_offset == expected
+                    expected += chunk.length
+
+
+def test_inverse_mapping():
+    layout = StripeLayout(3, 100)
+    assert layout.logical_offset(0, 0) == 0
+    assert layout.logical_offset(1, 0) == 100
+    assert layout.logical_offset(2, 50) == 250
+    assert layout.logical_offset(0, 100) == 300
+
+
+def test_inverse_validation():
+    layout = StripeLayout(3, 100)
+    with pytest.raises(ValueError):
+        layout.logical_offset(3, 0)
+    with pytest.raises(ValueError):
+        layout.logical_offset(0, -1)
+
+
+def test_agent_lengths_exact_stripes():
+    layout = StripeLayout(3, 100)
+    assert layout.agent_lengths(600) == [200, 200, 200]
+
+
+def test_agent_lengths_partial_stripe():
+    layout = StripeLayout(3, 100)
+    assert layout.agent_lengths(0) == [0, 0, 0]
+    assert layout.agent_lengths(50) == [50, 0, 0]
+    assert layout.agent_lengths(150) == [100, 50, 0]
+    assert layout.agent_lengths(350) == [150, 100, 100]
+
+
+def test_logical_size_roundtrip():
+    layout = StripeLayout(3, 100)
+    for total in [0, 1, 99, 100, 101, 299, 300, 301, 12345]:
+        assert layout.logical_size(layout.agent_lengths(total)) == total
+
+
+def test_logical_size_validation():
+    layout = StripeLayout(3, 100)
+    with pytest.raises(ValueError):
+        layout.logical_size([0, 0])
+    with pytest.raises(ValueError):
+        layout.logical_size([-1, 0, 0])
+
+
+def test_stripe_and_unit_bounds():
+    layout = StripeLayout(3, 100)
+    assert layout.stripe_bounds(0) == (0, 300)
+    assert layout.stripe_bounds(2) == (600, 900)
+    assert layout.unit_bounds(1, 2) == (500, 600)
+    assert layout.agent_unit_offset(4) == 400
+
+
+def test_single_agent_degenerates_to_identity():
+    layout = StripeLayout(1, 4096)
+    assert layout.locate(123456) == (0, 123456)
+    assert layout.logical_offset(0, 123456) == 123456
+
+
+layouts = st.builds(
+    StripeLayout,
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=1, max_value=512),
+)
+
+
+@given(layouts, st.integers(min_value=0, max_value=100_000))
+def test_locate_inverse_roundtrip(layout, offset):
+    agent, agent_offset = layout.locate(offset)
+    assert layout.logical_offset(agent, agent_offset) == offset
+
+
+@given(layouts, st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=0, max_value=5_000))
+@settings(max_examples=60)
+def test_chunks_partition_property(layout, offset, length):
+    chunks = list(layout.chunks(offset, length))
+    assert sum(c.length for c in chunks) == length
+    position = offset
+    for chunk in chunks:
+        assert chunk.logical_offset == position
+        agent, agent_offset = layout.locate(position)
+        assert (chunk.agent, chunk.agent_offset) == (agent, agent_offset)
+        assert chunk.stripe == layout.stripe_of(position)
+        position += chunk.length
+
+
+@given(layouts, st.integers(min_value=0, max_value=200_000))
+def test_agent_lengths_sum_property(layout, total):
+    lengths = layout.agent_lengths(total)
+    assert sum(lengths) == total
+    assert layout.logical_size(lengths) == total
+    # No agent holds more than one unit over any other.
+    assert max(lengths) - min(lengths) <= layout.striping_unit
+
+
+@given(layouts, st.integers(min_value=0, max_value=50_000),
+       st.integers(min_value=1, max_value=5_000))
+@settings(max_examples=60)
+def test_no_two_chunks_share_agent_bytes(layout, offset, length):
+    seen: set[tuple[int, int]] = set()
+    for chunk in layout.chunks(offset, length):
+        for byte_offset in range(chunk.agent_offset,
+                                 chunk.agent_offset + chunk.length):
+            key = (chunk.agent, byte_offset)
+            assert key not in seen
+            seen.add(key)

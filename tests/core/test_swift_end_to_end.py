@@ -1,0 +1,208 @@
+"""End-to-end Swift behaviour on the loopback deployment."""
+
+import os
+
+import pytest
+
+from repro.core import (
+    AgentFailure,
+    ObjectNotFound,
+    SessionClosed,
+    SwiftError,
+    build_local_swift,
+)
+
+
+@pytest.fixture()
+def deployment():
+    return build_local_swift(num_agents=3)
+
+
+@pytest.fixture()
+def client(deployment):
+    return deployment.client()
+
+
+def test_write_then_read_roundtrip(client):
+    with client.open("obj", "w") as f:
+        payload = bytes(range(256)) * 300
+        assert f.write(payload) == len(payload)
+        f.seek(0)
+        assert f.read(len(payload)) == payload
+
+
+def test_open_missing_object_fails(client):
+    with pytest.raises(ObjectNotFound):
+        client.open("ghost", "r")
+
+
+def test_rw_mode_creates(client):
+    with client.open("fresh", "rw") as f:
+        assert f.size == 0
+        f.write(b"data")
+        assert f.size == 4
+
+
+def test_w_mode_truncates(client):
+    with client.open("obj", "w") as f:
+        f.write(b"long old content here")
+    with client.open("obj", "w") as f:
+        assert f.size == 0
+
+
+def test_bad_mode_rejected(client):
+    with pytest.raises(ValueError):
+        client.open("obj", "x")
+
+
+def test_reopen_recovers_exact_size(client):
+    for size in [0, 1, 8191, 8192, 8193, 24576, 100_001]:
+        name = f"obj{size}"
+        with client.open(name, "w") as f:
+            f.write(b"z" * size)
+        with client.open(name, "r") as f:
+            assert f.size == size
+
+
+def test_seek_semantics(client):
+    with client.open("obj", "w") as f:
+        f.write(b"0123456789")
+        assert f.seek(2) == 2
+        assert f.read(3) == b"234"
+        assert f.seek(-2, os.SEEK_CUR) == 3
+        assert f.seek(-1, os.SEEK_END) == 9
+        assert f.read(5) == b"9"
+        with pytest.raises(ValueError):
+            f.seek(-1)
+        with pytest.raises(ValueError):
+            f.seek(0, 99)
+
+
+def test_sparse_write_reads_zeros(client):
+    with client.open("obj", "w") as f:
+        f.seek(50_000)
+        f.write(b"tail")
+        assert f.size == 50_004
+        assert f.pread(0, 10) == b"\x00" * 10
+        assert f.pread(49_998, 6) == b"\x00\x00tail"
+
+
+def test_read_past_eof_truncated(client):
+    with client.open("obj", "w") as f:
+        f.write(b"abc")
+        f.seek(0)
+        assert f.read(100) == b"abc"
+        assert f.read(10) == b""
+
+
+def test_overwrite_spanning_agents(client):
+    with client.open("obj", "w") as f:
+        f.write(b"A" * 40_000)
+        f.pwrite(7000, b"B" * 20_000)
+        expected = b"A" * 7000 + b"B" * 20_000 + b"A" * 13_000
+        assert f.pread(0, 40_000) == expected
+
+
+def test_interleaving_across_agents(deployment, client):
+    # The bytes on each agent must follow the round-robin layout.
+    with client.open("obj", "w", striping_unit=100) as f:
+        payload = bytes(i % 256 for i in range(1000))
+        f.write(payload)
+        engine = f.engine
+        layout = engine.layout
+    for index, channel in enumerate(engine.data_channels):
+        fs = deployment.agent(channel.agent_host).filesystem
+        local = _read_all(deployment.env, fs, "obj")
+        expected_length = layout.agent_lengths(1000)[index]
+        assert len(local) == expected_length
+        for chunk_start in range(0, expected_length, 100):
+            logical = layout.logical_offset(index, chunk_start)
+            span = min(100, expected_length - chunk_start)
+            assert local[chunk_start:chunk_start + span] == \
+                payload[logical:logical + span]
+
+
+def _read_all(env, fs, name):
+    result = {}
+
+    def reader():
+        result["data"] = yield from fs.read(name, 0, fs.file_size(name))
+
+    env.process(reader())
+    env.run()
+    return result["data"]
+
+
+def test_closed_file_rejects_io(client):
+    f = client.open("obj", "w")
+    f.write(b"x")
+    f.close()
+    with pytest.raises(SessionClosed):
+        f.read(1)
+    with pytest.raises(SessionClosed):
+        f.write(b"y")
+
+
+def test_context_manager_closes(client):
+    with client.open("obj", "w") as f:
+        f.write(b"x")
+    assert f.closed
+
+
+def test_two_objects_are_independent(client):
+    with client.open("a", "w") as fa, client.open("b", "w") as fb:
+        fa.write(b"AAAA")
+        fb.write(b"BBBB")
+        assert fa.pread(0, 4) == b"AAAA"
+        assert fb.pread(0, 4) == b"BBBB"
+
+
+def test_sequential_reads_move_position(client):
+    with client.open("obj", "w") as f:
+        f.write(bytes(range(100)))
+        f.seek(0)
+        assert f.read(10) == bytes(range(10))
+        assert f.read(10) == bytes(range(10, 20))
+        assert f.tell() == 20
+
+
+def test_agent_crash_without_parity_raises(deployment, client):
+    with client.open("obj", "w") as f:
+        f.write(b"q" * 60_000)
+        victim = f.engine.data_channels[0].agent_host
+        deployment.crash_agent(victim)
+        f.engine.read_timeout_s = 0.01  # fail fast
+        f.engine.max_retries = 2
+        with pytest.raises(AgentFailure):
+            f.pread(0, 60_000)
+
+
+def test_client_requires_mediator_or_agents(deployment):
+    from repro.core import SwiftClient
+    with pytest.raises(ValueError):
+        SwiftClient(deployment.env,
+                    deployment.network.host(deployment.client_host_name))
+
+
+def test_mediatorless_client_uses_default_agents(deployment):
+    client = deployment.direct_client()
+    with client.open("obj", "w") as f:
+        f.write(b"direct")
+        assert f.pread(0, 6) == b"direct"
+
+
+def test_sync_call_inside_process_rejected(deployment, client):
+    f = client.open("obj", "w")
+    f.write(b"x")
+    captured = {}
+
+    def misuse():
+        try:
+            f.read(1)
+        except SwiftError as exc:
+            captured["error"] = str(exc)
+        yield deployment.env.timeout(0)
+
+    deployment.env.process(misuse())
+    deployment.env.run()
+    assert "process" in captured["error"]

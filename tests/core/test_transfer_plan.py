@@ -1,0 +1,61 @@
+"""Transfer plan invariants."""
+
+import pytest
+
+from repro.core import StripeLayout, TransferPlan
+
+
+def make_plan(**overrides):
+    defaults = dict(
+        object_name="obj",
+        agent_hosts=("a", "b", "c"),
+        striping_unit=8192,
+        packet_size=8192,
+        parity=False,
+    )
+    defaults.update(overrides)
+    return TransferPlan(**defaults)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_plan(agent_hosts=())
+    with pytest.raises(ValueError):
+        make_plan(striping_unit=0)
+    with pytest.raises(ValueError):
+        make_plan(parity=True, agent_hosts=("a", "b"))
+
+
+def test_plain_plan_all_agents_hold_data():
+    plan = make_plan()
+    assert plan.num_data_agents == 3
+    assert plan.data_agents == ("a", "b", "c")
+    assert plan.parity_agent is None
+
+
+def test_parity_plan_reserves_last_agent():
+    plan = make_plan(parity=True)
+    assert plan.num_data_agents == 2
+    assert plan.data_agents == ("a", "b")
+    assert plan.parity_agent == "c"
+
+
+def test_layout_matches_plan():
+    plan = make_plan(parity=True, striping_unit=4096)
+    layout = plan.layout()
+    assert isinstance(layout, StripeLayout)
+    assert layout.num_agents == 2
+    assert layout.striping_unit == 4096
+
+
+def test_describe_mentions_key_facts():
+    text = make_plan(parity=True).describe()
+    assert "obj" in text
+    assert "2 data agents" in text
+    assert "parity on c" in text
+
+
+def test_plan_is_immutable():
+    plan = make_plan()
+    with pytest.raises(AttributeError):
+        plan.striping_unit = 1

@@ -1,0 +1,228 @@
+"""Engine and event-lifecycle tests for the DES kernel."""
+
+import pytest
+
+from repro.des import Environment, EmptySchedule, Event, Timeout
+
+
+def test_environment_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_environment_custom_start_time():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3.5)
+
+    env.process(proc(env))
+    env.run()
+    assert env.now == 3.5
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_timeout_value_delivered():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        value = yield env.timeout(1.0, value="payload")
+        seen.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == ["payload"]
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc(env):
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run(until=10.5)
+    assert env.now == 10.5
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+        return 42
+
+    result = env.run(until=env.process(proc(env)))
+    assert result == 42
+    assert env.now == 2.0
+
+
+def test_run_until_past_time_rejected():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(ValueError):
+        env.run(until=5.0)
+
+
+def test_step_on_empty_schedule_raises():
+    env = Environment()
+    with pytest.raises(EmptySchedule):
+        env.step()
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+
+    def waiter(env, delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(waiter(env, 3.0, "c"))
+    env.process(waiter(env, 1.0, "a"))
+    env.process(waiter(env, 2.0, "b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fifo_by_schedule_order():
+    env = Environment()
+    order = []
+
+    def waiter(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in "abcd":
+        env.process(waiter(env, tag))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_event_succeed_once_only():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(RuntimeError):
+        event.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(TypeError):
+        event.fail("not an exception")
+
+
+def test_unhandled_failed_event_raises_from_run():
+    env = Environment()
+    event = env.event()
+    event.fail(ValueError("boom"))
+    with pytest.raises(ValueError, match="boom"):
+        env.run()
+
+
+def test_defused_failed_event_is_silent():
+    env = Environment()
+    event = env.event()
+    event.fail(ValueError("boom"))
+    event.defuse()
+    env.run()  # no raise
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(RuntimeError):
+        _ = event.value
+    with pytest.raises(RuntimeError):
+        _ = event.ok
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7.0)
+    assert env.peek() == 7.0
+
+
+def test_peek_empty_is_infinite():
+    env = Environment()
+    assert env.peek() == float("inf")
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        t1 = env.timeout(1.0, "one")
+        t2 = env.timeout(2.0, "two")
+        values = yield env.all_of([t1, t2])
+        results.append(sorted(values.values()))
+
+    env.process(proc(env))
+    env.run()
+    assert results == [["one", "two"]]
+    assert env.now == 2.0
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        t1 = env.timeout(1.0, "fast")
+        t2 = env.timeout(5.0, "slow")
+        values = yield env.any_of([t1, t2])
+        results.append(list(values.values()))
+
+    env.process(proc(env))
+    env.run(until=1.5)
+    assert results == [["fast"]]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    condition = env.all_of([])
+    assert condition.triggered
+    assert condition.value == {}
+
+
+def test_condition_propagates_failure():
+    env = Environment()
+    caught = []
+
+    def failer(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("inner")
+
+    def proc(env):
+        try:
+            yield env.all_of([env.process(failer(env)), env.timeout(9.0)])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(proc(env))
+    env.run()
+    assert caught == ["inner"]
+
+
+def test_trigger_copies_another_events_outcome():
+    env = Environment()
+    source = env.event()
+    mirror = env.event()
+    source.callbacks.append(mirror.trigger)
+    source.succeed("mirrored")
+    env.run()
+    assert mirror.value == "mirrored"

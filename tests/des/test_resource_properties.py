@@ -1,0 +1,89 @@
+"""Property-based invariants of the Resource under random workloads."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.des import Environment, Resource
+
+
+workload = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=2.0),   # arrival offset
+        st.floats(min_value=0.001, max_value=1.0),  # hold time
+        st.integers(min_value=0, max_value=3),      # priority class
+    ),
+    min_size=1, max_size=25,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(jobs=workload, capacity=st.integers(min_value=1, max_value=4))
+def test_capacity_never_exceeded(jobs, capacity):
+    env = Environment()
+    resource = Resource(env, capacity=capacity)
+    peak = [0]
+
+    def user(env, offset, hold, priority):
+        yield env.timeout(offset)
+        with resource.request(priority=priority) as request:
+            yield request
+            peak[0] = max(peak[0], resource.count)
+            assert resource.count <= capacity
+            yield env.timeout(hold)
+
+    for offset, hold, priority in jobs:
+        env.process(user(env, offset, hold, priority))
+    env.run()
+    assert 1 <= peak[0] <= capacity
+    assert resource.count == 0
+    assert resource.queue_length == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(jobs=workload)
+def test_total_service_time_conserved(jobs):
+    """With capacity 1 the busy time equals the sum of hold times."""
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    busy = [0.0]
+
+    def user(env, offset, hold, _priority):
+        yield env.timeout(offset)
+        with resource.request() as request:
+            yield request
+            start = env.now
+            yield env.timeout(hold)
+            busy[0] += env.now - start
+
+    for job in jobs:
+        env.process(user(env, *job))
+    env.run()
+    expected = sum(hold for _, hold, _ in jobs)
+    assert abs(busy[0] - expected) < 1e-9
+    # The run cannot end before all work has been serialised.
+    assert env.now >= expected - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(jobs=workload)
+def test_same_priority_is_fifo(jobs):
+    """Equal-priority requests are granted in request order."""
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    requested = []
+    granted = []
+
+    def user(env, name, offset, hold):
+        yield env.timeout(offset)
+        requested.append((env.now, name))
+        with resource.request() as request:
+            yield request
+            granted.append(name)
+            yield env.timeout(hold)
+
+    for index, (offset, hold, _) in enumerate(jobs):
+        env.process(user(env, index, offset, hold))
+    env.run()
+    expected = [name for _, name in sorted(requested,
+                                           key=lambda t: (t[0],
+                                                          requested.index(t)))]
+    assert granted == expected

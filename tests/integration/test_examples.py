@@ -1,0 +1,56 @@
+"""The shipped examples must keep running (import and execute main())."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "wrote 59000 bytes" in out
+    assert "last line identical: True" in out
+
+
+def test_video_server(capsys):
+    out = run_example("video_server", capsys)
+    assert "admitted CD-quality audio" in out
+    assert "REJECTED full-frame colour video" in out
+    assert "OK" in out
+
+
+def test_failure_recovery(capsys):
+    out = run_example("failure_recovery", capsys)
+    assert "degraded read : OK" in out
+    assert "degraded write: OK" in out
+    assert "post-rebuild  : OK" in out
+    assert "object is lost" in out
+
+
+def test_record_store(capsys):
+    out = run_example("record_store", capsys)
+    assert "coalescing factor" in out
+    assert "record  4999: OK" in out
+
+
+@pytest.mark.slow
+def test_tape_archive(capsys):
+    out = run_example("tape_archive", capsys)
+    assert "8 drive(s)" in out
+    assert "Swift over 4 arrays" in out

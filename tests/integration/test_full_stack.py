@@ -1,0 +1,145 @@
+"""Full-stack integration: mediator + agents + client over real media."""
+
+import pytest
+
+from repro.core import (
+    AdmissionError,
+    AgentDescriptor,
+    DistributionAgent,
+    StorageAgent,
+    StorageMediator,
+    build_local_swift,
+)
+from repro.des import Environment, StreamFactory
+from repro.simdisk import Disk, LocalFileSystem
+from repro.simnet import Network
+from repro.core.deployment import INSTANT_DISK
+
+MB = 1 << 20
+
+
+def test_two_mediators_share_agents():
+    # §6: independent mediators controlling a common set of agents see
+    # each other's reservations through the shared descriptors.
+    first = StorageMediator()
+    descriptors = [first.register_agent(f"a{i}", 1.0 * MB, 64 * MB)
+                   for i in range(3)]
+    second = StorageMediator()
+    for descriptor in descriptors:
+        second.adopt_agent(descriptor)
+
+    session = first.negotiate("x", object_size=MB, data_rate=2.0 * MB)
+    with pytest.raises(AdmissionError):
+        second.negotiate("y", object_size=MB, data_rate=2.0 * MB)
+    session.close()
+    second.negotiate("y", object_size=MB, data_rate=2.0 * MB)
+
+
+def test_adopt_duplicate_rejected():
+    first = StorageMediator()
+    descriptor = first.register_agent("a0", 1.0 * MB, 64 * MB)
+    second = StorageMediator()
+    second.adopt_agent(descriptor)
+    with pytest.raises(ValueError):
+        second.adopt_agent(descriptor)
+
+
+def test_two_clients_share_one_deployment():
+    deployment = build_local_swift(num_agents=3)
+    alice = deployment.client()
+    bob = deployment.client()
+    fa = alice.open("shared-a", "w")
+    fb = bob.open("shared-b", "w")
+    fa.write(b"alice data " * 1000)
+    fb.write(b"bob data " * 1000)
+    assert fa.pread(0, 11) == b"alice data "
+    assert fb.pread(0, 9) == b"bob data "
+    fa.close()
+    fb.close()
+    # Sessions released: the mediator holds no leftover commitments.
+    for name in deployment.mediator.agent_names:
+        assert deployment.mediator.agent(name).committed_bandwidth == 0
+
+
+def test_same_object_two_handles():
+    deployment = build_local_swift(num_agents=3)
+    client = deployment.client()
+    writer = client.open("obj", "w")
+    writer.write(b"0123456789" * 100)
+    writer.close()
+    reader = client.open("obj", "r")
+    again = client.open("obj", "r")
+    assert reader.read(10) == b"0123456789"
+    assert again.pread(990, 10) == b"0123456789"
+    reader.close()
+    again.close()
+
+
+def test_parity_swift_over_lossy_network_end_to_end():
+    """The full feature stack at once: striping + parity + loss recovery."""
+    env = Environment()
+    streams = StreamFactory(99)
+    net = Network(env, streams)
+    net.add_ethernet("lan", loss_probability=0.08)
+    client_host = net.add_host("client")
+    net.connect("client", "lan", tx_queue_packets=4096)
+    names = []
+    agents = []
+    for index in range(4):
+        name = f"agent{index}"
+        names.append(name)
+        host = net.add_host(name)
+        net.connect(name, "lan", tx_queue_packets=4096)
+        fs = LocalFileSystem(env, Disk(env, INSTANT_DISK), cache_blocks=4096)
+        agents.append(StorageAgent(env, host, fs, socket_buffer=4096,
+                                   nak_timeout_s=0.05))
+    engine = DistributionAgent(
+        env, client_host, names, "obj", striping_unit=4096,
+        packet_size=4096, parity=True,
+        open_timeout_s=0.1, read_timeout_s=0.1, ack_timeout_s=0.1,
+        max_retries=40)
+
+    payload = bytes((i * 37 + 11) % 256 for i in range(150_000))
+
+    def run(gen):
+        return env.run(until=env.process(gen))
+
+    run(engine.open(create=True))
+    run(engine.write(0, payload))
+    assert run(engine.read(0, len(payload))) == payload
+
+    # Now crash a data agent *on top of* the lossy network.
+    agents[1].crash()
+    engine.mark_failed(1)
+    assert run(engine.read(0, len(payload))) == payload
+    assert engine.stats.reconstructed_units > 0
+
+
+def test_mediator_driven_timed_testbed():
+    """The mediator's plan drives the calibrated prototype testbed."""
+    from repro.prototype import PrototypeTestbed
+    testbed = PrototypeTestbed(seed=77)
+    mediator = StorageMediator(packet_size=8192)
+    for name in testbed.agent_names:
+        mediator.register_agent(name, bandwidth=300 * 1024,
+                                capacity_bytes=64 * MB)
+    session = mediator.negotiate("obj", object_size=3 * MB,
+                                 data_rate=600 * 1024.0)
+    assert len(session.plan.agent_hosts) >= 2
+    engine = DistributionAgent(
+        testbed.env, testbed.client_host,
+        list(session.plan.agent_hosts), "obj",
+        striping_unit=session.plan.striping_unit,
+        packet_size=session.plan.packet_size)
+
+    payload = b"\x77" * (1 * MB)
+
+    def workload():
+        yield from engine.open(create=True)
+        yield from engine.write(0, payload)
+        data = yield from engine.read(0, len(payload))
+        assert data == payload
+        yield from engine.close()
+
+    testbed._run(workload())
+    session.close()

@@ -1,0 +1,46 @@
+"""Experiment runners and the paper-style report formatting."""
+
+from repro.des import SampleSet
+from repro.prototype import (
+    PAPER_TABLE2,
+    format_comparison,
+    format_table,
+    run_scsi_table,
+)
+
+
+def test_run_scsi_table_small():
+    rows = run_scsi_table(sizes_mb=(3,), samples=3)
+    assert set(rows) == {"Read 3 MB", "Write 3 MB"}
+    for samples in rows.values():
+        assert len(samples) == 3
+    assert 630 <= rows["Read 3 MB"].mean <= 700
+    assert 300 <= rows["Write 3 MB"].mean <= 330
+
+
+def test_samples_differ_across_seeds():
+    rows = run_scsi_table(sizes_mb=(3,), samples=4)
+    values = rows["Read 3 MB"].samples
+    assert len(set(values)) > 1  # random seeks give sample spread
+
+
+def test_format_table_columns():
+    rows = {"Read 3 MB": SampleSet([893, 897, 876, 860, 882, 881, 890, 885])}
+    text = format_table("Table X", rows)
+    assert "Table X" in text
+    assert "Read 3 MB" in text
+    assert "x̄" in text and "σ" in text
+    assert "90%" in text
+
+
+def test_format_comparison_ratio():
+    rows = {"Read 3 MB": SampleSet([654.0, 656.0])}
+    text = format_comparison("cmp", rows, PAPER_TABLE2)
+    assert "0.9" in text or "1.0" in text
+    assert "654" in text or "655" in text
+
+
+def test_format_comparison_missing_paper_value():
+    rows = {"Exotic op": SampleSet([100.0, 101.0])}
+    text = format_comparison("cmp", rows, {})
+    assert "—" in text

@@ -1,0 +1,83 @@
+"""§6.1.2 extension: EDF disk scheduling for data-rate guarantees."""
+
+import pytest
+
+from repro.sim import SimConfig, run_once
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+def rt_config(scheduling, **overrides):
+    defaults = dict(num_disks=8, transfer_unit=32 * KB, request_size=1 * MB,
+                    arrival_rate=3.0, num_requests=250, warmup_requests=25,
+                    seed=6, disk_scheduling=scheduling, deadline_s=0.45,
+                    realtime_fraction=0.3)
+    defaults.update(overrides)
+    return SimConfig(**defaults)
+
+
+def test_scheduling_validation():
+    with pytest.raises(ValueError):
+        rt_config("lifo")
+    with pytest.raises(ValueError):
+        rt_config("edf", deadline_s=0.0)
+
+
+def test_miss_rate_zero_without_deadline():
+    result = run_once(rt_config("fifo", deadline_s=None))
+    assert result.deadline_miss_rate == 0.0
+    assert result.deadline_total == 0
+
+
+def test_deadlines_counted_for_realtime_class_only():
+    result = run_once(rt_config("fifo"))
+    # ~30% of measured requests are the real-time class.
+    assert 0 < result.deadline_total < result.completed
+    assert 0.0 <= result.deadline_miss_rate <= 1.0
+
+
+def test_all_requests_realtime_when_fraction_one():
+    result = run_once(rt_config("fifo", realtime_fraction=1.0))
+    assert result.deadline_total == result.completed
+
+
+def test_class_mix_validation():
+    with pytest.raises(ValueError):
+        rt_config("edf", realtime_fraction=1.5)
+    with pytest.raises(ValueError):
+        rt_config("edf", background_deadline_factor=0.5)
+
+
+def test_light_load_meets_deadlines_either_way():
+    for scheduling in ("fifo", "edf"):
+        result = run_once(rt_config(scheduling, arrival_rate=1.0,
+                                    num_requests=100, warmup_requests=10))
+        assert result.deadline_miss_rate < 0.05
+
+
+def test_edf_does_not_hurt_mean_completion_much():
+    fifo = run_once(rt_config("fifo"))
+    edf = run_once(rt_config("edf"))
+    assert edf.mean_completion_s < 1.5 * fifo.mean_completion_s
+
+
+def test_edf_reduces_misses_under_stress():
+    # Near the sustainable limit, deadline-aware ordering must protect the
+    # real-time class much better than FIFO.
+    fifo = run_once(rt_config("fifo", arrival_rate=3.4))
+    edf = run_once(rt_config("edf", arrival_rate=3.4))
+    assert fifo.deadline_miss_rate > 0.05  # the stress is real
+    assert edf.deadline_miss_rate < 0.6 * fifo.deadline_miss_rate
+
+
+def test_uniform_deadlines_make_edf_like_fifo():
+    # With one class, EDF degenerates to arrival order — practically FIFO
+    # (not bitwise: FIFO orders by queue-join time, EDF by arrival time,
+    # which can differ when network/CPU stages reorder requests slightly).
+    fifo = run_once(rt_config("fifo", realtime_fraction=1.0))
+    edf = run_once(rt_config("edf", realtime_fraction=1.0))
+    assert edf.mean_completion_s == pytest.approx(fifo.mean_completion_s,
+                                                  rel=0.10)
+    assert edf.deadline_miss_rate == pytest.approx(fifo.deadline_miss_rate,
+                                                   abs=0.05)

@@ -1,0 +1,103 @@
+"""Trace-driven workloads: synthesis and replay (§6.1.1 variable loads)."""
+
+import pytest
+
+from repro.sim import (
+    SimConfig,
+    TraceRecord,
+    run_once,
+    synthesize_bursty_trace,
+    synthesize_poisson_trace,
+    trace_mean_rate,
+)
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+def test_record_validation():
+    with pytest.raises(ValueError):
+        TraceRecord(time_s=-1.0, is_read=True)
+
+
+def test_poisson_trace_rate_and_mix():
+    trace = synthesize_poisson_trace(rate=10.0, count=5000, seed=2)
+    assert trace_mean_rate(trace) == pytest.approx(10.0, rel=0.1)
+    reads = sum(1 for r in trace if r.is_read)
+    assert reads / len(trace) == pytest.approx(0.8, abs=0.05)
+
+
+def test_poisson_trace_times_monotone():
+    trace = synthesize_poisson_trace(rate=5.0, count=100, seed=3)
+    times = [r.time_s for r in trace]
+    assert times == sorted(times)
+
+
+def test_bursty_trace_keeps_mean_rate():
+    trace = synthesize_bursty_trace(mean_rate=10.0, count=6000,
+                                    burstiness=3.5, seed=4)
+    assert trace_mean_rate(trace) == pytest.approx(10.0, rel=0.15)
+
+
+def test_bursty_trace_is_actually_bursty():
+    """Interarrival variability must exceed Poisson's (CV > 1)."""
+    import statistics
+
+    def squared_cv(trace):
+        gaps = [b.time_s - a.time_s for a, b in zip(trace, trace[1:])]
+        return statistics.pvariance(gaps) / statistics.fmean(gaps) ** 2
+
+    poisson = synthesize_poisson_trace(rate=10.0, count=6000, seed=5)
+    bursty = synthesize_bursty_trace(mean_rate=10.0, count=6000,
+                                     burstiness=3.5, seed=5)
+    assert squared_cv(poisson) == pytest.approx(1.0, rel=0.2)
+    assert squared_cv(bursty) > 1.5 * squared_cv(poisson)
+
+
+def test_synthesis_validation():
+    with pytest.raises(ValueError):
+        synthesize_poisson_trace(rate=0, count=10)
+    with pytest.raises(ValueError):
+        synthesize_bursty_trace(mean_rate=1.0, count=0)
+    with pytest.raises(ValueError):
+        synthesize_bursty_trace(mean_rate=1.0, count=10, burstiness=0.5)
+    with pytest.raises(ValueError):
+        synthesize_bursty_trace(mean_rate=1.0, count=10, busy_fraction=0.0)
+    with pytest.raises(ValueError):
+        trace_mean_rate([TraceRecord(0.0, True)])
+
+
+def sim_config(**overrides):
+    defaults = dict(num_disks=16, transfer_unit=32 * KB, request_size=1 * MB,
+                    arrival_rate=5.0, num_requests=200, warmup_requests=20,
+                    seed=6)
+    defaults.update(overrides)
+    return SimConfig(**defaults)
+
+
+def test_trace_replay_runs_to_completion():
+    trace = synthesize_poisson_trace(rate=5.0, count=300, seed=7)
+    result = run_once(sim_config(), trace=trace)
+    assert result.completed >= 200
+    assert result.p99_completion_s >= result.mean_completion_s
+
+
+def test_trace_replay_matches_internal_poisson_roughly():
+    internal = run_once(sim_config(seed=8))
+    trace = synthesize_poisson_trace(rate=5.0, count=300, seed=8)
+    replayed = run_once(sim_config(seed=8), trace=trace)
+    assert replayed.mean_completion_s == pytest.approx(
+        internal.mean_completion_s, rel=0.3)
+
+
+def test_bursty_load_hurts_tail_latency():
+    """§6.1.1's concern, demonstrated: same mean load, worse service."""
+    poisson = synthesize_poisson_trace(rate=8.0, count=400, seed=9)
+    bursty = synthesize_bursty_trace(mean_rate=8.0, count=400,
+                                     burstiness=3.5, seed=9)
+    smooth = run_once(sim_config(arrival_rate=8.0, num_requests=300,
+                                 warmup_requests=30), trace=poisson)
+    spiky = run_once(sim_config(arrival_rate=8.0, num_requests=300,
+                                warmup_requests=30), trace=bursty)
+    assert spiky.mean_completion_s > smooth.mean_completion_s
+    assert spiky.p99_completion_s > 1.5 * smooth.p99_completion_s

@@ -1,0 +1,138 @@
+"""Disk model: service times, queueing, utilization."""
+
+import pytest
+
+from repro.des import Environment, RandomStream
+from repro.simdisk import DISK_CATALOG, Disk, DiskSpec
+
+
+def run_access(env, disk, **kwargs):
+    result = {}
+
+    def proc(env):
+        result["time"] = yield from disk.access(**kwargs)
+
+    env.process(proc(env))
+    env.run()
+    return result["time"]
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        DiskSpec("bad", -1.0, 0.008, 2.5e6)
+    with pytest.raises(ValueError):
+        DiskSpec("bad", 0.016, 0.008, 0.0)
+    with pytest.raises(ValueError):
+        DiskSpec("bad", 0.016, 0.008, 2.5e6, capacity_bytes=0)
+
+
+def test_paper_states_37ms_for_32kb_on_m2372k():
+    # §5.2: "transferring 32 kilobytes required about 37 milliseconds on
+    # the average" (seek 16 + rotation 8.3 + 32768/2.5MB/s = 13.1 -> ~37ms).
+    spec = DISK_CATALOG["Fujitsu M2372K"]
+    assert spec.mean_access_time(32 * 1024) == pytest.approx(0.0374, abs=0.0005)
+
+
+def test_deterministic_access_time_matches_spec():
+    env = Environment()
+    spec = DISK_CATALOG["Fujitsu M2372K"]
+    disk = Disk(env, spec)  # no stream: expected values
+    elapsed = run_access(env, disk, nbytes=32 * 1024)
+    assert elapsed == pytest.approx(spec.mean_access_time(32 * 1024))
+
+
+def test_multiblock_pays_positioning_per_block():
+    env = Environment()
+    spec = DISK_CATALOG["Fujitsu M2372K"]
+    disk = Disk(env, spec)
+    elapsed = run_access(env, disk, nbytes=4096, blocks=4)
+    assert elapsed == pytest.approx(4 * spec.mean_access_time(4096))
+
+
+def test_sequential_pays_positioning_once():
+    env = Environment()
+    spec = DISK_CATALOG["Fujitsu M2372K"]
+    disk = Disk(env, spec)
+    elapsed = run_access(env, disk, nbytes=4096, blocks=4, sequential=True)
+    expected = (spec.avg_seek_s + spec.avg_rotation_s
+                + 4 * spec.transfer_time(4096))
+    assert elapsed == pytest.approx(expected)
+
+
+def test_random_positioning_bounded_by_uniform_range():
+    env = Environment()
+    spec = DISK_CATALOG["Fujitsu M2372K"]
+    disk = Disk(env, spec, stream=RandomStream(123))
+    for _ in range(200):
+        draw = disk.draw_positioning_time()
+        assert 0.0 <= draw <= 2 * (spec.avg_seek_s + spec.avg_rotation_s)
+
+
+def test_concurrent_requests_queue_on_spindle():
+    env = Environment()
+    spec = DISK_CATALOG["Fujitsu M2372K"]
+    disk = Disk(env, spec)
+    finish_times = []
+
+    def user(env):
+        yield from disk.access(nbytes=32 * 1024)
+        finish_times.append(env.now)
+
+    env.process(user(env))
+    env.process(user(env))
+    env.run()
+    one = spec.mean_access_time(32 * 1024)
+    assert finish_times == pytest.approx([one, 2 * one])
+
+
+def test_multiblock_holds_resource_against_competitor():
+    # The paper: "Multiblock requests are allowed to complete before the
+    # resource is relinquished."
+    env = Environment()
+    spec = DISK_CATALOG["Fujitsu M2372K"]
+    disk = Disk(env, spec)
+    order = []
+
+    def big(env):
+        yield from disk.access(nbytes=4096, blocks=8)
+        order.append("big")
+
+    def small(env):
+        yield env.timeout(0.001)  # arrives while 'big' is in progress
+        yield from disk.access(nbytes=4096)
+        order.append("small")
+
+    env.process(big(env))
+    env.process(small(env))
+    env.run()
+    assert order == ["big", "small"]
+
+
+def test_utilization_full_when_saturated():
+    env = Environment()
+    disk = Disk(env, DISK_CATALOG["Fujitsu M2372K"])
+
+    def user(env):
+        for _ in range(10):
+            yield from disk.access(nbytes=32 * 1024)
+
+    env.process(user(env))
+    env.run()
+    assert disk.utilization() == pytest.approx(1.0)
+    assert disk.blocks_served == 10
+    assert disk.bytes_served == 10 * 32 * 1024
+
+
+def test_access_argument_validation():
+    env = Environment()
+    disk = Disk(env, DISK_CATALOG["Fujitsu M2372K"])
+    with pytest.raises(ValueError):
+        list(disk.access(nbytes=4096, blocks=0))
+    with pytest.raises(ValueError):
+        list(disk.access(nbytes=-1))
+
+
+def test_catalog_has_all_figure_disks():
+    from repro.simdisk import FIGURE_5_6_DISKS
+    for name in FIGURE_5_6_DISKS:
+        assert name in DISK_CATALOG

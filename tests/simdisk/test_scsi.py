@@ -1,0 +1,66 @@
+"""Calibrated SCSI path: sequential rates must land near Table 2."""
+
+import pytest
+
+from repro.des import Environment
+from repro.simdisk import ScsiMode, make_scsi_filesystem
+
+MB = 1 << 20
+KB = 1 << 10
+
+
+def run(env, gen):
+    holder = {}
+
+    def wrapper():
+        holder["value"] = yield from gen
+
+    env.process(wrapper())
+    env.run()
+    return holder.get("value")
+
+
+def sequential_read_rate(mode, nbytes):
+    env = Environment()
+    fs = make_scsi_filesystem(env, mode=mode)
+    fs.create("f")
+    run(env, fs.write("f", 0, b"d" * nbytes))
+    fs.flush_cache()
+    start = env.now
+    run(env, fs.read("f", 0, nbytes))
+    return nbytes / KB / (env.now - start)
+
+
+def sequential_write_rate(nbytes):
+    env = Environment()
+    fs = make_scsi_filesystem(env)
+    fs.create("f")
+    start = env.now
+    run(env, fs.write("f", 0, b"d" * nbytes, sync=True))
+    return nbytes / KB / (env.now - start)
+
+
+def test_sync_read_rate_near_table2():
+    # Table 2: read 654-682 KB/s.
+    rate = sequential_read_rate(ScsiMode.SYNCHRONOUS, 3 * MB)
+    assert 630 <= rate <= 700
+
+
+def test_async_read_rate_is_about_half():
+    # §4 footnote 2: synchronous mode doubled the read data-rate.
+    sync = sequential_read_rate(ScsiMode.SYNCHRONOUS, 3 * MB)
+    async_ = sequential_read_rate(ScsiMode.ASYNCHRONOUS, 3 * MB)
+    assert async_ == pytest.approx(sync / 2, rel=0.15)
+
+
+def test_sync_write_rate_near_table2():
+    # Table 2: write 314-316 KB/s.
+    rate = sequential_write_rate(3 * MB)
+    assert 295 <= rate <= 335
+
+
+def test_rates_stable_across_sizes():
+    # Table 2 shows nearly flat rates from 3 MB to 9 MB.
+    r3 = sequential_read_rate(ScsiMode.SYNCHRONOUS, 3 * MB)
+    r9 = sequential_read_rate(ScsiMode.SYNCHRONOUS, 9 * MB)
+    assert r9 == pytest.approx(r3, rel=0.05)
