@@ -1,14 +1,23 @@
 # Reproduction driver targets.
 
 PYTHON ?= python
+export PYTHONPATH := src
 
-.PHONY: install test bench bench-full tables figures examples clean
+.PHONY: install test lint bench bench-full tables figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	$(PYTHON) -m repro check --json
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping style pass"; \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,4 +1,8 @@
-"""``python -m repro`` — the command-line entry point."""
+"""``python -m repro`` — the command-line entry point.
+
+Tables, figures, the demo, and ``python -m repro check`` (determinism &
+protocol-invariant static analysis; see docs/CHECKING.md).
+"""
 
 import sys
 

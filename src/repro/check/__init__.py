@@ -1,0 +1,78 @@
+"""Determinism & protocol-invariant checking for the reproduction.
+
+The results in Tables 1-4 and Figures 3-6 are only trustworthy if every
+simulation run is bit-for-bit deterministic and the transfer protocol never
+violates its ACK/NAK state machine.  This package provides three layers of
+defence:
+
+* :mod:`repro.check.lint` — an AST lint engine with pluggable determinism
+  rules (:mod:`repro.check.rules`) that walks ``src/repro/**`` and flags
+  hazards: unseeded RNG, wall-clock reads, mutable default arguments,
+  set-iteration order dependence, salted ``hash()`` use.
+* :mod:`repro.check.protocol` — a static checker that extracts the
+  agent/client message flows from the protocol sources and verifies them
+  against the declarative spec in :mod:`repro.check.spec` (the
+  docs/PROTOCOL.md ACK/NAK/retransmit machine).
+* :mod:`repro.check.sanitize` — opt-in runtime sanitizer hooks for the DES:
+  event-time monotonicity, resource-leak detection, cross-stream RNG
+  sharing.
+
+Run everything from the command line::
+
+    python -m repro check [--json]
+
+which exits non-zero when any violation is found.  Individual lint findings
+can be suppressed with a ``# repro: allow[rule-id]`` comment on the
+offending line (or the line above); see docs/CHECKING.md.
+"""
+
+from .findings import Finding, Severity
+from .lint import LintEngine, Rule, iter_python_files
+from .protocol import check_protocol
+from .report import render_json, render_text
+from .rules import DEFAULT_RULES, rule_registry
+from .sanitize import (
+    MonotonicityError,
+    ResourceLeakError,
+    SanitizerError,
+    SharedStreamError,
+    sanitize,
+)
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "Rule",
+    "LintEngine",
+    "iter_python_files",
+    "rule_registry",
+    "DEFAULT_RULES",
+    "check_protocol",
+    "render_text",
+    "render_json",
+    "run_check",
+    "sanitize",
+    "SanitizerError",
+    "MonotonicityError",
+    "ResourceLeakError",
+    "SharedStreamError",
+]
+
+
+def run_check(root=None, rules=None, protocol=True) -> list[Finding]:
+    """Run the full static suite (lint + protocol) and return the findings.
+
+    ``root`` defaults to the installed ``repro`` package directory, so
+    ``run_check()`` with no arguments audits this very code base.
+    """
+    import pathlib
+
+    if root is None:
+        root = pathlib.Path(__file__).resolve().parent.parent
+    root = pathlib.Path(root)
+    engine = LintEngine(rules=rules)
+    findings = engine.check_tree(root)
+    if protocol:
+        findings.extend(check_protocol(root))
+    findings.sort(key=lambda f: (str(f.path), f.line, f.rule_id))
+    return findings

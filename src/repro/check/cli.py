@@ -1,0 +1,100 @@
+"""The ``repro check`` subcommand (also ``python -m repro.check``)."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .lint import LintEngine, iter_python_files
+from .protocol import check_protocol
+from .report import exit_code, render_json, render_text
+from .rules import rule_registry
+
+__all__ = ["add_check_arguments", "run_check_command", "main"]
+
+
+def add_check_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the check options to an (sub)parser."""
+    parser.add_argument(
+        "--root", default=None,
+        help="package directory to audit (default: the installed repro "
+             "package)")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON report (for CI)")
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all); "
+             f"known: {', '.join(sorted(rule_registry()))}")
+    parser.add_argument(
+        "--no-protocol", action="store_true",
+        help="skip the protocol state-machine checker")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+
+
+def _selected_rules(spec: str | None):
+    registry = rule_registry()
+    if spec is None:
+        return None  # engine default: everything
+    chosen = []
+    for rule_id in (piece.strip() for piece in spec.split(",")):
+        if not rule_id:
+            continue
+        if rule_id not in registry:
+            raise SystemExit(
+                f"unknown rule {rule_id!r}; known rules: "
+                f"{', '.join(sorted(registry))}")
+        chosen.append(registry[rule_id]())
+    return chosen
+
+
+def run_check_command(args) -> int:
+    """Execute ``repro check`` with parsed ``args``; returns exit code."""
+    if args.list_rules:
+        for rule_id, rule in sorted(rule_registry().items()):
+            print(f"{rule_id:<18} {rule.summary}")
+        print(f"{'protocol-spec':<18} spec vocabulary matches "
+              "agent_protocol.py")
+        print(f"{'protocol-machine':<18} state machines are sound "
+              "(reachability, timeout edges)")
+        print(f"{'protocol-transition':<18} every send has a matching "
+              "receive on the other side")
+        print(f"{'protocol-timeout':<18} lossy-transport waits are "
+              "timeout-guarded")
+        return 0
+
+    if args.root is None:
+        root = Path(__file__).resolve().parent.parent
+    else:
+        root = Path(args.root)
+    if not root.exists():
+        raise SystemExit(f"no such path: {root}")
+
+    engine = LintEngine(rules=_selected_rules(args.rules))
+    findings = engine.check_tree(root)
+    if not args.no_protocol:
+        findings.extend(check_protocol(root))
+    findings.sort(key=lambda f: (str(f.path), f.line, f.rule_id))
+    checked = sum(1 for _ in iter_python_files(root))
+    if args.json:
+        print(render_json(findings, checked_paths=checked))
+    else:
+        print(render_text(findings, checked_paths=checked))
+    return exit_code(findings)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point for ``python -m repro.check``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.check",
+        description="Determinism & protocol-invariant checks for the "
+                    "Swift reproduction.")
+    add_check_arguments(parser)
+    return run_check_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

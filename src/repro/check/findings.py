@@ -1,0 +1,49 @@
+"""The unit of output every checker layer produces: a :class:`Finding`."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings fail the build; ``WARNING`` findings are reported
+    but do not affect the exit code (used for heuristics that can
+    legitimately fire on correct code, like shared-stream detection).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: Path
+    line: int
+    message: str
+    severity: Severity = Severity.ERROR
+    source: str = field(default="", compare=False)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (used by ``repro check --json``)."""
+        return {
+            "rule": self.rule_id,
+            "path": str(self.path),
+            "line": self.line,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+    def format(self) -> str:
+        """One-line human-readable form, editor-clickable."""
+        return (f"{self.path}:{self.line}: "
+                f"{self.severity.value} [{self.rule_id}] {self.message}")

@@ -1,0 +1,143 @@
+"""The AST lint engine: file walking, rule dispatch, suppressions.
+
+A :class:`Rule` visits one module's AST and yields :class:`Finding`
+objects.  The engine parses each file once, fans the tree out to every
+rule, and filters the results through ``# repro: allow[rule-id]``
+suppression comments (on the flagged line or the line directly above).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+from .findings import Finding, Severity
+
+__all__ = ["Rule", "LintEngine", "iter_python_files", "SUPPRESS_PATTERN"]
+
+#: ``# repro: allow[rule-id]`` (several ids comma-separated, ``*`` for all).
+SUPPRESS_PATTERN = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z0-9_\-*,\s]+)\]")
+
+#: Directories never linted (caches, checker test fixtures).
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".pytest_cache"}
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`rule_id` / :attr:`summary` and implement
+    :meth:`check`, yielding findings.  ``exempt_suffixes`` names path
+    suffixes (POSIX style) where the rule never applies — e.g. the RNG
+    containment rule exempts ``des/random_streams.py`` itself.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+    severity: Severity = Severity.ERROR
+    exempt_suffixes: tuple[str, ...] = ()
+
+    def applies_to(self, path: Path) -> bool:
+        """False when ``path`` is exempt from this rule."""
+        posix = path.as_posix()
+        return not any(posix.endswith(suffix)
+                       for suffix in self.exempt_suffixes)
+
+    def check(self, tree: ast.Module, path: Path) -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+        raise NotImplementedError
+
+    def finding(self, path: Path, node: ast.AST, message: str) -> Finding:
+        """Convenience constructor anchored at ``node``."""
+        return Finding(
+            rule_id=self.rule_id,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            message=message,
+            severity=self.severity,
+        )
+
+
+def iter_python_files(root: Path) -> Iterator[Path]:
+    """Every ``.py`` file under ``root`` (a file path is yielded as-is)."""
+    root = Path(root)
+    if root.is_file():
+        yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        if not any(part in _SKIP_DIR_NAMES for part in path.parts):
+            yield path
+
+
+def _suppressed_rules(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids allowed on that line.
+
+    A trailing ``allow`` comment covers only its own line; a standalone
+    comment line (nothing but the comment) covers the line below it, so
+    a suppression can sit above the statement without silencing an
+    unrelated neighbour.
+    """
+    allowed: dict[int, set[str]] = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        match = SUPPRESS_PATTERN.search(text)
+        if not match:
+            continue
+        ids = {piece.strip() for piece in match.group(1).split(",")}
+        ids.discard("")
+        standalone = text.lstrip().startswith("#")
+        covered = (number, number + 1) if standalone else (number,)
+        for line in covered:
+            allowed.setdefault(line, set()).update(ids)
+    return allowed
+
+
+class LintEngine:
+    """Parses files and runs every registered rule over them."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None):
+        if rules is None:
+            from .rules import DEFAULT_RULES
+            rules = [factory() for factory in DEFAULT_RULES]
+        self.rules: list[Rule] = list(rules)
+
+    def check_file(self, path: Path) -> list[Finding]:
+        """All findings in one file (empty on syntax errors is *not* an
+        option: an unparseable file is itself reported)."""
+        path = Path(path)
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return [Finding(
+                rule_id="syntax-error",
+                path=path,
+                line=exc.lineno or 1,
+                message=f"file does not parse: {exc.msg}",
+            )]
+        allowed = _suppressed_rules(source)
+        findings = []
+        for rule in self.rules:
+            if not rule.applies_to(path):
+                continue
+            for finding in rule.check(tree, path):
+                granted = allowed.get(finding.line, ())
+                if finding.rule_id in granted or "*" in granted:
+                    continue
+                findings.append(finding)
+        return findings
+
+    def check_tree(self, root: Path) -> list[Finding]:
+        """All findings under a directory tree (or in a single file)."""
+        findings: list[Finding] = []
+        for path in iter_python_files(Path(root)):
+            findings.extend(self.check_file(path))
+        return findings
+
+    def check_paths(self, paths: Iterable[Path]) -> list[Finding]:
+        """All findings across an explicit set of files/directories."""
+        findings: list[Finding] = []
+        for path in paths:
+            findings.extend(self.check_tree(Path(path)))
+        return findings

@@ -1,0 +1,351 @@
+"""Determinism lint rules.
+
+Every rule here guards the same invariant: two runs of the same scenario
+with the same seed must produce bit-identical results.  The hazards are
+the classic ones Gray & Kukol blame for irreproducible transfer
+experiments — hidden global RNG state, wall-clock reads leaking into
+simulated time, iteration orders that vary between interpreter runs, and
+mutable defaults that smuggle state between simulation runs.
+
+Rules are deliberately syntactic (no type inference): they flag the
+direct forms of each hazard and accept ``# repro: allow[rule-id]`` where
+a human has judged an instance safe.  See docs/CHECKING.md.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, Optional
+
+from .findings import Finding
+from .lint import Rule
+
+__all__ = ["DEFAULT_RULES", "rule_registry"]
+
+
+# -- shared AST helpers -------------------------------------------------------
+
+
+class _ImportMap:
+    """Resolves local names back to the modules they came from."""
+
+    def __init__(self, tree: ast.Module):
+        #: local alias -> dotted module name (``import time as t`` -> t: time)
+        self.modules: dict[str, str] = {}
+        #: local name -> fully dotted origin (``from time import time``)
+        self.names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.names[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}")
+
+    def qualify(self, node: ast.expr) -> Optional[str]:
+        """Dotted origin of a Name/Attribute chain, or None."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        head = node.id
+        if head in self.modules:
+            head = self.modules[head]
+        elif head in self.names:
+            head = self.names[head]
+        parts.append(head)
+        return ".".join(reversed(parts))
+
+
+def _call_name(imports: _ImportMap, call: ast.Call) -> Optional[str]:
+    return imports.qualify(call.func)
+
+
+def _is_set_expression(node: ast.expr, imports: _ImportMap) -> bool:
+    """True for a set display, set comprehension, or set()/frozenset() call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _call_name(imports, node)
+        return name in ("set", "frozenset")
+    return False
+
+
+# -- the rules ----------------------------------------------------------------
+
+
+class RawRandomRule(Rule):
+    """All RNG flows through des/random_streams.py — nowhere else.
+
+    An import of the stdlib ``random`` module anywhere else bypasses the
+    named-stream discipline: draws would come from an unnamed (possibly
+    shared, possibly unseeded) generator, and adding one component would
+    perturb every other component's variates.
+    """
+
+    rule_id = "raw-random"
+    summary = "stdlib `random` imported outside des/random_streams.py"
+    exempt_suffixes = ("des/random_streams.py",)
+
+    def check(self, tree: ast.Module, path: Path) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "random":
+                        yield self.finding(
+                            path, node,
+                            "import of stdlib `random`; draw variates from "
+                            "a named des.RandomStream instead")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] == "random":
+                    yield self.finding(
+                        path, node,
+                        "import from stdlib `random`; draw variates from "
+                        "a named des.RandomStream instead")
+
+
+class UnseededRngRule(Rule):
+    """No draws from implicitly seeded generators.
+
+    ``random.Random()`` with no seed and the module-level functions
+    (``random.random()`` …) both seed from the OS — different on every
+    run.  Fires even inside des/random_streams.py, which must construct
+    ``random.Random(seed)`` explicitly.
+    """
+
+    rule_id = "unseeded-rng"
+    summary = "RNG constructed or drawn without an explicit seed"
+
+    _MODULE_FUNCTIONS = frozenset({
+        "random.random", "random.randint", "random.randrange",
+        "random.uniform", "random.choice", "random.choices",
+        "random.shuffle", "random.sample", "random.expovariate",
+        "random.gauss", "random.normalvariate", "random.betavariate",
+        "random.gammavariate", "random.paretovariate", "random.vonmisesvariate",
+        "random.weibullvariate", "random.triangular", "random.lognormvariate",
+        "random.getrandbits", "random.randbytes",
+    })
+
+    def check(self, tree: ast.Module, path: Path) -> Iterator[Finding]:
+        imports = _ImportMap(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(imports, node)
+            if name is None:
+                continue
+            if name in self._MODULE_FUNCTIONS:
+                yield self.finding(
+                    path, node,
+                    f"`{name}()` draws from the shared, OS-seeded global "
+                    "RNG; use a seeded des.RandomStream")
+            elif name in ("random.Random", "random.SystemRandom"):
+                if name == "random.SystemRandom" or not (
+                        node.args or node.keywords):
+                    yield self.finding(
+                        path, node,
+                        f"`{name}()` without an explicit seed is "
+                        "nondeterministic across runs")
+
+
+class WallClockRule(Rule):
+    """Simulated time only: no wall-clock reads in model code.
+
+    A ``time.time()`` (or friends) folded into any simulated quantity
+    makes results depend on host speed and scheduling.  Real-time reads
+    belong only in reporting code, with an explicit allow comment.
+    """
+
+    rule_id = "wall-clock"
+    summary = "wall-clock read in simulation code"
+
+    _BANNED = frozenset({
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+        "time.process_time_ns", "time.clock",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    })
+
+    def check(self, tree: ast.Module, path: Path) -> Iterator[Finding]:
+        imports = _ImportMap(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(imports, node)
+            if name in self._BANNED:
+                yield self.finding(
+                    path, node,
+                    f"`{name}()` reads the wall clock; simulation code "
+                    "must use env.now")
+
+
+class MutableDefaultRule(Rule):
+    """No mutable default arguments.
+
+    A mutable default is evaluated once at import time and then shared by
+    every call — in event handlers and model constructors that means state
+    silently bleeding between simulation runs.
+    """
+
+    rule_id = "mutable-default"
+    summary = "mutable default argument"
+
+    _MUTABLE_CALLS = frozenset({
+        "list", "dict", "set", "bytearray",
+        "collections.deque", "collections.defaultdict",
+        "collections.Counter", "collections.OrderedDict",
+    })
+
+    def _is_mutable(self, node: ast.expr, imports: _ImportMap) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                             ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return _call_name(imports, node) in self._MUTABLE_CALLS
+        return False
+
+    def check(self, tree: ast.Module, path: Path) -> Iterator[Finding]:
+        imports = _ImportMap(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            arguments = node.args
+            positional = arguments.posonlyargs + arguments.args
+            pairs = list(zip(positional[len(positional)
+                                        - len(arguments.defaults):],
+                             arguments.defaults))
+            pairs.extend((arg, default) for arg, default
+                         in zip(arguments.kwonlyargs, arguments.kw_defaults)
+                         if default is not None)
+            for arg, default in pairs:
+                if self._is_mutable(default, imports):
+                    yield self.finding(
+                        path, default,
+                        f"mutable default for `{arg.arg}` in "
+                        f"`{node.name}()` is shared across calls")
+
+
+class SetIterationRule(Rule):
+    """No direct iteration over sets in model code.
+
+    Set iteration order depends on insertion history and element hashes
+    (salted for str/bytes), so a loop body with side effects on the
+    calendar makes the whole run irreproducible.  Iterate a sorted copy.
+    """
+
+    rule_id = "set-iteration"
+    summary = "iteration over a set (order is not deterministic)"
+
+    _PASSTHROUGH = ("enumerate", "reversed")
+
+    def _flag_target(self, node: ast.expr,
+                     imports: _ImportMap) -> Optional[ast.expr]:
+        if _is_set_expression(node, imports):
+            return node
+        if isinstance(node, ast.Call):
+            name = _call_name(imports, node)
+            if name in self._PASSTHROUGH and node.args and \
+                    _is_set_expression(node.args[0], imports):
+                return node.args[0]
+        return None
+
+    def check(self, tree: ast.Module, path: Path) -> Iterator[Finding]:
+        imports = _ImportMap(tree)
+        iters: list[ast.expr] = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+        for target in iters:
+            flagged = self._flag_target(target, imports)
+            if flagged is not None:
+                yield self.finding(
+                    path, flagged,
+                    "iterating a set: order varies between runs; iterate "
+                    "`sorted(...)` instead")
+
+
+class SaltedHashRule(Rule):
+    """No builtin ``hash()`` in model code.
+
+    ``hash(str)`` / ``hash(bytes)`` are salted per interpreter run
+    (PYTHONHASHSEED), so anything derived from them — child seeds, shard
+    choices, tie-breaks — changes between runs.  Use a stable digest
+    (e.g. the FNV in des/random_streams.py).
+    """
+
+    rule_id = "salted-hash"
+    summary = "builtin hash() is salted per interpreter run"
+
+    def check(self, tree: ast.Module, path: Path) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "hash"):
+                yield self.finding(
+                    path, node,
+                    "builtin hash() output changes with PYTHONHASHSEED; "
+                    "use a stable digest")
+
+
+class ImplicitSeedRule(Rule):
+    """Stream factories must be given their master seed explicitly.
+
+    ``StreamFactory()`` silently takes seed 0; library code that buries
+    that default cannot be reseeded for independent samples, which is
+    exactly the seed-threading gap that makes repeated-run confidence
+    intervals meaningless.
+    """
+
+    rule_id = "implicit-seed"
+    summary = "StreamFactory() constructed without an explicit master seed"
+
+    def check(self, tree: ast.Module, path: Path) -> Iterator[Finding]:
+        imports = _ImportMap(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(imports, node)
+            if name is not None and name.endswith("StreamFactory"):
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        path, node,
+                        "StreamFactory() with no master seed; thread the "
+                        "caller's seed through")
+            # dataclasses.field(default_factory=StreamFactory) calls
+            # StreamFactory() seedlessly at instantiation time.
+            for keyword in node.keywords:
+                if keyword.arg != "default_factory":
+                    continue
+                target = imports.qualify(keyword.value)
+                if target is not None and target.endswith("StreamFactory"):
+                    yield self.finding(
+                        path, keyword.value,
+                        "default_factory=StreamFactory constructs an "
+                        "implicitly seeded factory; require the caller "
+                        "to pass one")
+
+
+#: Rule classes in reporting order; instantiate to get a default rule set.
+DEFAULT_RULES = (
+    RawRandomRule,
+    UnseededRngRule,
+    WallClockRule,
+    MutableDefaultRule,
+    SetIterationRule,
+    SaltedHashRule,
+    ImplicitSeedRule,
+)
+
+
+def rule_registry() -> dict[str, type[Rule]]:
+    """Rule id -> rule class, for --rules selection and the docs."""
+    return {rule.rule_id: rule for rule in DEFAULT_RULES}

@@ -1,0 +1,204 @@
+"""Runtime sanitizer for DES runs: ``with sanitize(env): ...``.
+
+Three dynamic checks the static rules cannot make:
+
+* **event-time monotonicity** — every event popped from the calendar must
+  carry a timestamp no earlier than the clock or any previously popped
+  event.  Catches clock tampering and negative-delay scheduling at the
+  exact offending event, before the engine's own (later, vaguer) guard.
+* **resource leaks** — every granted :class:`~repro.des.resources.Resource`
+  request must be released by the time the sanitized block ends.  A
+  handle held at exit is a leak: in a longer run that server slot is gone
+  forever and throughput quietly degrades.
+* **cross-stream RNG sharing** — one :class:`~repro.des.random_streams.
+  RandomStream` drawn by more than one process entangles the two
+  components' variate sequences: reordering unrelated events changes
+  both.  Reported as warnings by default (``on_shared_stream="error"``
+  upgrades), since serialized sharing can be deliberate.
+
+Overhead is zero when not sanitizing: the hooks in the engine and the
+streams are no-ops until installed.
+
+Usage::
+
+    from repro.check import sanitize
+
+    env = Environment()
+    streams = StreamFactory(seed)
+    ... build the model ...
+    with sanitize(env, streams) as monitor:
+        env.run()
+    assert not monitor.warnings
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..des.engine import Environment
+    from ..des.random_streams import RandomStream, StreamFactory
+
+__all__ = ["sanitize", "Sanitizer", "SanitizerError", "MonotonicityError",
+           "ResourceLeakError", "SharedStreamError"]
+
+
+class SanitizerError(AssertionError):
+    """Base class: a sanitized run violated a determinism invariant."""
+
+
+class MonotonicityError(SanitizerError):
+    """An event was processed at a time earlier than the clock."""
+
+
+class ResourceLeakError(SanitizerError):
+    """Resource requests were still held when the sanitized block ended."""
+
+
+class SharedStreamError(SanitizerError):
+    """One random stream was drawn by more than one process."""
+
+
+class Sanitizer:
+    """The installed monitor set; created by :func:`sanitize`."""
+
+    def __init__(self, env: "Environment",
+                 streams: "Optional[StreamFactory]" = None,
+                 check_monotonicity: bool = True,
+                 check_leaks: bool = True,
+                 on_shared_stream: str = "warn"):
+        if on_shared_stream not in ("warn", "error", "ignore"):
+            raise ValueError(
+                f"on_shared_stream must be warn/error/ignore, "
+                f"got {on_shared_stream!r}")
+        self.env = env
+        self.streams = streams
+        self.check_monotonicity = check_monotonicity
+        self.check_leaks = check_leaks
+        self.on_shared_stream = on_shared_stream
+        #: Human-readable warnings collected during the run.
+        self.warnings: list[str] = []
+        self._last_when = env.now
+        self._events_seen = 0
+        #: request id -> (resource, request) for grants not yet released.
+        self._held: dict[int, tuple] = {}
+        self._acquires = 0
+        self._releases = 0
+        #: stream name -> processes that drew from it (strong refs: ids
+        #: must stay unique for the lifetime of the sanitizer).
+        self._drawers: dict[str, list] = {}
+        self._shared_reported: set[str] = set()
+        self._installed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def install(self) -> None:
+        """Attach to the environment (and streams, if given)."""
+        if self._installed:  # pragma: no cover - defensive
+            return
+        if self.check_monotonicity:
+            self.env.add_step_monitor(self._on_step)
+        if self.check_leaks:
+            self.env.add_resource_monitor(self._on_resource)
+        if self.streams is not None and self.on_shared_stream != "ignore":
+            self.streams.attach_observer(self._on_draw)
+        self._installed = True
+
+    def uninstall(self) -> None:
+        """Detach every hook (leaves collected state readable)."""
+        if not self._installed:  # pragma: no cover - defensive
+            return
+        self.env.remove_step_monitor(self._on_step)
+        self.env.remove_resource_monitor(self._on_resource)
+        if self.streams is not None:
+            self.streams.detach_observer()
+        self._installed = False
+
+    def finish(self) -> None:
+        """End-of-block verdict: raise on leaked resources."""
+        if self.check_leaks and self._held:
+            lines = []
+            for resource, request in self._held.values():
+                lines.append(f"  {resource!r} held by {request!r}")
+            raise ResourceLeakError(
+                f"{len(self._held)} resource request(s) acquired but never "
+                "released:\n" + "\n".join(sorted(lines)))
+
+    # -- hook callbacks -----------------------------------------------------
+
+    def _on_step(self, when: float, event) -> None:
+        self._events_seen += 1
+        if when < self.env.now or when < self._last_when:
+            raise MonotonicityError(
+                f"event {event!r} processed at t={when:.9f} after the "
+                f"clock reached t={max(self.env.now, self._last_when):.9f}")
+        self._last_when = when
+
+    def _on_resource(self, action: str, resource, request) -> None:
+        if action == "acquire":
+            self._acquires += 1
+            self._held[id(request)] = (resource, request)
+        elif action == "release":
+            self._releases += 1
+            self._held.pop(id(request), None)
+
+    def _on_draw(self, stream: "RandomStream") -> None:
+        process = self.env.active_process
+        if process is None:
+            # Setup-time draws (model construction) have no owner.
+            return
+        name = stream.name or repr(stream)
+        owners = self._drawers.setdefault(name, [])
+        if not any(owner is process for owner in owners):
+            owners.append(process)
+        if len(owners) > 1 and name not in self._shared_reported:
+            self._shared_reported.add(name)
+            message = (f"stream {name!r} drawn by {len(owners)} distinct "
+                       f"processes (latest: {process!r}); their variate "
+                       "sequences are now interleaving-dependent")
+            if self.on_shared_stream == "error":
+                raise SharedStreamError(message)
+            self.warnings.append(message)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def events_processed(self) -> int:
+        """Events popped while the sanitizer was installed."""
+        return self._events_seen
+
+    @property
+    def held_requests(self) -> int:
+        """Currently outstanding (granted, unreleased) requests."""
+        return len(self._held)
+
+    def shared_streams(self) -> dict[str, int]:
+        """Stream name -> number of distinct drawing processes (>1 only)."""
+        return {name: len(owners) for name, owners in self._drawers.items()
+                if len(owners) > 1}
+
+
+@contextmanager
+def sanitize(env: "Environment",
+             streams: "Optional[StreamFactory]" = None,
+             check_monotonicity: bool = True,
+             check_leaks: bool = True,
+             on_shared_stream: str = "warn"):
+    """Context manager running a DES block under the sanitizer.
+
+    Raises :class:`MonotonicityError` / :class:`SharedStreamError` at the
+    offending event, and :class:`ResourceLeakError` at block exit if any
+    granted resource request was never released.  If the body itself
+    raises, that exception propagates unmasked (no leak check).
+    """
+    monitor = Sanitizer(env, streams,
+                        check_monotonicity=check_monotonicity,
+                        check_leaks=check_leaks,
+                        on_shared_stream=on_shared_stream)
+    monitor.install()
+    try:
+        yield monitor
+    finally:
+        monitor.uninstall()
+    monitor.finish()

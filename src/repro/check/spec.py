@@ -1,0 +1,126 @@
+"""Declarative spec of the Swift transfer protocol (docs/PROTOCOL.md).
+
+Two views of the same machine:
+
+* :data:`EXCHANGES` — the request/reply vocabulary: which message class
+  the client sends, what the agent may answer, on which port, and whether
+  the client's wait must be timeout-guarded (every wait over the lossy
+  datagram transport must be).
+* :data:`MACHINES` — the client-side state machines for the read and
+  write (ACK/NAK/retransmit) paths, as (state, event, state) transitions.
+  Events are ``send <Msg>``, ``recv <Msg>`` or ``timeout``.
+
+:mod:`repro.check.protocol` verifies the implementation against the
+exchanges and the machines against themselves (reachability, no trap
+states, timeout edges wherever a reply is awaited).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Exchange", "Transition", "StateMachine", "EXCHANGES", "MACHINES",
+           "spec_message_names"]
+
+
+@dataclass(frozen=True)
+class Exchange:
+    """One request/reply pair of the protocol vocabulary."""
+
+    request: str
+    replies: tuple[str, ...]
+    port: str                   # "control" or "private"
+    timeout_required: bool      # client wait must be timeout-guarded
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One edge of a client-side state machine."""
+
+    source: str
+    event: str                  # "send X" | "recv X" | "timeout"
+    target: str
+
+
+@dataclass(frozen=True)
+class StateMachine:
+    """A named machine with an initial state and terminal states."""
+
+    name: str
+    initial: str
+    terminals: frozenset[str]
+    transitions: tuple[Transition, ...]
+
+    @property
+    def states(self) -> frozenset[str]:
+        found = {self.initial} | set(self.terminals)
+        for transition in self.transitions:
+            found.add(transition.source)
+            found.add(transition.target)
+        return frozenset(found)
+
+    def edges_from(self, state: str) -> tuple[Transition, ...]:
+        return tuple(t for t in self.transitions if t.source == state)
+
+
+#: The protocol vocabulary, straight from docs/PROTOCOL.md.
+EXCHANGES: tuple[Exchange, ...] = (
+    Exchange("OpenRequest", ("OpenReply",), "control", True,
+             "idempotent via request_id; retried on timeout"),
+    Exchange("ReadRequest", ("DataPacket",), "private", True,
+             "one outstanding per agent; resubmitted with the same seq"),
+    Exchange("WriteRequest", ("WriteAck", "WriteNak"), "private", True,
+             "re-send doubles as a status query"),
+    Exchange("WriteData", (), "private", False,
+             "streamed as fast as possible; no per-packet reply"),
+    Exchange("CloseRequest", ("CloseReply",), "private", True,
+             "best-effort: one short wait, no retries"),
+    Exchange("RemoveRequest", ("RemoveReply",), "control", True),
+    Exchange("StatRequest", ("StatReply",), "control", True),
+    Exchange("ListRequest", ("ListReply",), "control", True),
+)
+
+#: §3.1 read path: single outstanding request, resubmit on loss.
+READ_MACHINE = StateMachine(
+    name="read",
+    initial="IDLE",
+    terminals=frozenset({"DONE"}),
+    transitions=(
+        Transition("IDLE", "send ReadRequest", "WAIT_DATA"),
+        Transition("WAIT_DATA", "recv DataPacket", "DONE"),
+        Transition("WAIT_DATA", "timeout", "IDLE"),
+    ),
+)
+
+#: §3.1 write path: announce, stream, await ACK; NAK → retransmit; ACK
+#: timeout → status query (a re-sent WRITE-REQ).
+WRITE_MACHINE = StateMachine(
+    name="write",
+    initial="IDLE",
+    terminals=frozenset({"DONE"}),
+    transitions=(
+        Transition("IDLE", "send WriteRequest", "ANNOUNCED"),
+        Transition("ANNOUNCED", "send WriteData", "STREAMING"),
+        Transition("STREAMING", "send WriteData", "STREAMING"),
+        Transition("STREAMING", "recv WriteAck", "DONE"),
+        Transition("STREAMING", "recv WriteNak", "STREAMING"),
+        Transition("STREAMING", "timeout", "QUERY"),
+        Transition("QUERY", "send WriteRequest", "STREAMING"),
+    ),
+)
+
+MACHINES: tuple[StateMachine, ...] = (READ_MACHINE, WRITE_MACHINE)
+
+
+def spec_message_names() -> frozenset[str]:
+    """Every message class name the spec mentions."""
+    names: set[str] = set()
+    for exchange in EXCHANGES:
+        names.add(exchange.request)
+        names.update(exchange.replies)
+    for machine in MACHINES:
+        for transition in machine.transitions:
+            if transition.event.startswith(("send ", "recv ")):
+                names.add(transition.event.split(" ", 1)[1])
+    return frozenset(names)

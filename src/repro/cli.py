@@ -7,6 +7,7 @@ Usage::
     python -m repro fig3 | fig4 [--requests 300] [--csv out.csv]
     python -m repro fig5 | fig6 [--requests 250] [--csv out.csv]
     python -m repro demo            # the quickstart, end to end
+    python -m repro check [--json]  # determinism & protocol invariants
 """
 
 from __future__ import annotations
@@ -64,6 +65,12 @@ def _build_parser() -> argparse.ArgumentParser:
                                     help="speed-up factor (default 2.0)")
 
     sub.add_parser("demo", help="run the quickstart demo")
+
+    check_parser = sub.add_parser(
+        "check",
+        help="static determinism lint + protocol-invariant verification")
+    from .check.cli import add_check_arguments
+    add_check_arguments(check_parser)
     return parser
 
 
@@ -168,6 +175,9 @@ def main(argv: list[str] | None = None) -> int:
         return _run_figure(args)
     if args.command == "sensitivity":
         return _run_sensitivity(args)
+    if args.command == "check":
+        from .check.cli import run_check_command
+        return run_check_command(args)
     return _run_demo()
 
 

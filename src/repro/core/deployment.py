@@ -13,7 +13,7 @@ The *timed* deployments used for performance measurement live in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..des import Environment, StreamFactory
 from ..simdisk import Disk, DiskSpec, LocalFileSystem
@@ -60,7 +60,11 @@ class SwiftDeployment:
     agents: dict[str, StorageAgent]
     client_host_name: str
     packet_size: int
-    streams: StreamFactory = field(default_factory=StreamFactory)
+    # Required (no default): a deployment's variate streams must be the
+    # same factory its network was built with, threaded from one master
+    # seed — an implicit seed-0 fallback here silently decorrelated the
+    # two and made repeated-sample experiments non-independent.
+    streams: StreamFactory
 
     def client(self, **engine_options) -> SwiftClient:
         """A client wired to this deployment's mediator."""

@@ -46,6 +46,10 @@ class AgentStats:
     """Operation counters one storage agent keeps."""
 
     def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter (between back-to-back scenario runs)."""
         self.opens = 0
         self.reads_served = 0
         self.bytes_read = 0

@@ -49,6 +49,11 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        # Monitoring hooks (repro.check.sanitize attaches here).  Both
+        # lists are empty in normal runs so the hot loop pays only a
+        # truthiness test per event.
+        self._step_monitors: list = []
+        self._resource_monitors: list = []
 
     # -- clock ----------------------------------------------------------------
 
@@ -61,6 +66,41 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         """The process currently being stepped (None between steps)."""
         return self._active_process
+
+    # -- monitoring hooks ---------------------------------------------------
+
+    def add_step_monitor(self, callback) -> None:
+        """Call ``callback(when, event)`` as each event is popped.
+
+        The callback runs *before* the clock advances and before the
+        event's callbacks, so a monitor sees (and may veto, by raising)
+        any non-monotonic timestamp the engine itself would trip over.
+        """
+        self._step_monitors.append(callback)
+
+    def remove_step_monitor(self, callback) -> None:
+        """Detach a step monitor (no-op if absent)."""
+        try:
+            self._step_monitors.remove(callback)
+        except ValueError:
+            pass
+
+    def add_resource_monitor(self, callback) -> None:
+        """Call ``callback(action, resource, request)`` on every grant or
+        release of any :class:`~repro.des.resources.Resource` in this
+        environment (``action`` is ``"acquire"`` or ``"release"``)."""
+        self._resource_monitors.append(callback)
+
+    def remove_resource_monitor(self, callback) -> None:
+        """Detach a resource monitor (no-op if absent)."""
+        try:
+            self._resource_monitors.remove(callback)
+        except ValueError:
+            pass
+
+    def _notify_resource(self, action: str, resource, request) -> None:
+        for callback in self._resource_monitors:
+            callback(action, resource, request)
 
     # -- event factories --------------------------------------------------------
 
@@ -108,6 +148,9 @@ class Environment:
             when, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
+        if self._step_monitors:
+            for monitor in self._step_monitors:
+                monitor(when, event)
         if when < self._now:  # pragma: no cover - heap guarantees ordering
             raise RuntimeError("event scheduled in the past")
         self._now = when

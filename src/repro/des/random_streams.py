@@ -4,12 +4,19 @@ Every stochastic model component draws from its own :class:`RandomStream`, so
 runs are reproducible and components are statistically independent.  Streams
 are spawned from a :class:`StreamFactory` keyed by name, so adding a new
 component does not perturb the draws of existing ones.
+
+Streams accept an optional *observer* — a callable invoked (with the
+stream) before every draw.  The runtime sanitizer
+(:mod:`repro.check.sanitize`) uses this to detect two components sharing
+one stream, which would entangle their draw sequences and make results
+depend on event interleaving.
 """
 
 from __future__ import annotations
 
 import math
 import random
+from typing import Callable, Optional
 
 __all__ = ["RandomStream", "StreamFactory"]
 
@@ -17,19 +24,28 @@ __all__ = ["RandomStream", "StreamFactory"]
 class RandomStream:
     """A named, seeded source of the variates the paper's models need."""
 
-    def __init__(self, seed: int):
+    def __init__(self, seed: int, name: str = ""):
         self._rng = random.Random(seed)
+        self.name = name
+        #: Called with this stream before every draw (sanitizer hook).
+        self.observer: Optional[Callable[["RandomStream"], None]] = None
+
+    def _observed(self) -> None:
+        if self.observer is not None:
+            self.observer(self)
 
     def exponential(self, mean: float) -> float:
         """Exponential variate with the given mean (interarrival times)."""
         if mean <= 0:
             raise ValueError(f"mean must be positive, got {mean}")
+        self._observed()
         return self._rng.expovariate(1.0 / mean)
 
     def uniform(self, low: float, high: float) -> float:
         """Uniform variate on [low, high] (seek times, rotational delay)."""
         if high < low:
             raise ValueError(f"empty interval [{low}, {high}]")
+        self._observed()
         return self._rng.uniform(low, high)
 
     def uniform_mean(self, mean: float) -> float:
@@ -40,27 +56,36 @@ class RandomStream:
         """
         if mean < 0:
             raise ValueError(f"mean must be non-negative, got {mean}")
+        self._observed()
         return self._rng.uniform(0.0, 2.0 * mean)
 
     def bernoulli(self, probability: float) -> bool:
         """True with the given probability (packet loss)."""
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"probability out of range: {probability}")
+        self._observed()
         return self._rng.random() < probability
 
     def choice(self, sequence):
         """Uniform choice from a non-empty sequence."""
+        self._observed()
         return self._rng.choice(sequence)
 
     def randint(self, low: int, high: int) -> int:
         """Uniform integer on [low, high]."""
+        self._observed()
         return self._rng.randint(low, high)
 
     def shuffled(self, sequence) -> list:
         """A shuffled copy of ``sequence``."""
+        self._observed()
         items = list(sequence)
         self._rng.shuffle(items)
         return items
+
+    def __repr__(self) -> str:
+        label = self.name or "anonymous"
+        return f"<RandomStream {label}>"
 
 
 class StreamFactory:
@@ -73,13 +98,33 @@ class StreamFactory:
     def __init__(self, master_seed: int = 0):
         self.master_seed = master_seed
         self._issued: dict[str, RandomStream] = {}
+        self._observer: Optional[Callable[[RandomStream], None]] = None
 
     def stream(self, name: str) -> RandomStream:
         """The stream for ``name`` (created on first use, then cached)."""
         if name not in self._issued:
             child_seed = self._derive(name)
-            self._issued[name] = RandomStream(child_seed)
+            issued = RandomStream(child_seed, name=name)
+            issued.observer = self._observer
+            self._issued[name] = issued
         return self._issued[name]
+
+    def attach_observer(self,
+                        observer: Callable[[RandomStream], None]) -> None:
+        """Install ``observer`` on every issued and future stream."""
+        self._observer = observer
+        for stream in self._issued.values():
+            stream.observer = observer
+
+    def detach_observer(self) -> None:
+        """Remove the observer from every issued and future stream."""
+        self._observer = None
+        for stream in self._issued.values():
+            stream.observer = None
+
+    def issued_streams(self) -> list[RandomStream]:
+        """The streams issued so far, in creation order."""
+        return list(self._issued.values())
 
     def _derive(self, name: str) -> int:
         # A small, stable string hash (Python's hash() is salted per run).

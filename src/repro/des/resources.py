@@ -104,6 +104,8 @@ class Resource:
     def _dequeue(self, request: Request) -> None:
         if request in self.users:
             self.users.remove(request)
+            if self.env._resource_monitors:
+                self.env._notify_resource("release", self, request)
             self._grant()
         else:
             # Withdraw from the wait queue (lazily: mark and filter).
@@ -116,6 +118,8 @@ class Resource:
         while self._waiting and len(self.users) < self.capacity:
             _, _, request = heapq.heappop(self._waiting)
             self.users.append(request)
+            if self.env._resource_monitors:
+                self.env._notify_resource("acquire", self, request)
             request.succeed()
 
 

@@ -1,0 +1,7 @@
+"""Fixture: one StreamFactory built without a master seed."""
+
+from repro.des import StreamFactory
+
+
+def build():
+    return StreamFactory()

@@ -1,0 +1,6 @@
+"""Fixture: one mutable default argument in an event handler."""
+
+
+def on_event(event, backlog=[]):
+    backlog.append(event)
+    return backlog

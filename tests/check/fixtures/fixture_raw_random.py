@@ -1,0 +1,7 @@
+"""Fixture: stdlib ``random`` imported outside des/random_streams.py."""
+
+import random
+
+
+def roll(sides):
+    return sides  # the import alone is the violation

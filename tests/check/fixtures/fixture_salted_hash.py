@@ -1,0 +1,5 @@
+"""Fixture: one builtin hash() used for placement."""
+
+
+def shard(key, buckets):
+    return hash(key) % buckets

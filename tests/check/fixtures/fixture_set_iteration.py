@@ -1,0 +1,6 @@
+"""Fixture: one direct iteration over a set."""
+
+
+def drain(pending):
+    for item in set(pending):
+        yield item

@@ -1,0 +1,7 @@
+"""Fixture: a violation silenced by an allow comment (zero findings)."""
+
+import time  # repro: allow[*]
+
+
+def wall_stamp():
+    return time.time()  # repro: allow[wall-clock]

@@ -1,0 +1,7 @@
+"""Fixture: one draw from the OS-seeded global RNG."""
+
+import random  # repro: allow[raw-random]
+
+
+def jitter():
+    return random.random()

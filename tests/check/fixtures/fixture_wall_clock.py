@@ -1,0 +1,7 @@
+"""Fixture: one wall-clock read in simulation code."""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,69 @@
+"""`python -m repro check` behaviour: exit codes and report formats."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = str(Path(__file__).parent / "fixtures")
+
+
+def test_check_exits_zero_on_the_repository(capsys):
+    assert main(["check"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s), 0 warning(s)" in out
+
+
+def test_check_exits_nonzero_on_violation_fixtures(capsys):
+    assert main(["check", "--root", FIXTURES]) == 1
+    out = capsys.readouterr().out
+    assert "wall-clock" in out
+    assert "error(s)" in out
+
+
+def test_json_report_is_machine_readable(capsys):
+    code = main(["check", "--root", FIXTURES, "--json"])
+    assert code == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["tool"] == "repro-check"
+    assert report["format_version"] == 1
+    assert report["summary"]["errors"] >= 1
+    assert report["summary"]["by_rule"]["wall-clock"] == 1
+    by_line = {(f["rule"], Path(f["path"]).name) for f in report["findings"]}
+    assert ("salted-hash", "fixture_salted_hash.py") in by_line
+
+
+def test_json_report_on_clean_repo(capsys):
+    assert main(["check", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["findings"] == []
+    assert report["files_checked"] > 0
+
+
+def test_rule_selection(capsys):
+    # Only the selected rule runs: other fixtures' hazards are invisible.
+    code = main(["check", "--root", FIXTURES, "--rules", "salted-hash"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "salted-hash" in out
+    assert "wall-clock" not in out
+
+
+def test_unknown_rule_is_an_error():
+    with pytest.raises(SystemExit, match="unknown rule"):
+        main(["check", "--rules", "no-such-rule"])
+
+
+def test_list_rules(capsys):
+    assert main(["check", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("raw-random", "wall-clock", "implicit-seed"):
+        assert rule_id in out
+
+
+def test_module_entry_point(capsys):
+    from repro.check.cli import main as check_main
+    assert check_main(["--list-rules"]) == 0
+    assert "mutable-default" in capsys.readouterr().out

@@ -1,0 +1,137 @@
+"""Protocol checker: clean on the real sources, loud on broken ones."""
+
+from pathlib import Path
+
+from repro.check.protocol import (
+    AGENT_SOURCE,
+    VOCABULARY_SOURCE,
+    check_protocol,
+    extract_side,
+    extract_vocabulary,
+)
+from repro.check.protocol import _check_machine
+from repro.check.spec import (
+    EXCHANGES,
+    MACHINES,
+    StateMachine,
+    Transition,
+    spec_message_names,
+)
+
+PACKAGE_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _write_synthetic_tree(root: Path, *, drop_receive=None,
+                          drop_timeout_guard=None, extra_agent_send=None):
+    """A minimal implementation tree satisfying the spec, optionally
+    broken in one precise way."""
+    core = root / "core"
+    core.mkdir(parents=True)
+    names = sorted(spec_message_names())
+    vocabulary = names + ([extra_agent_send] if extra_agent_send else [])
+    (core / "agent_protocol.py").write_text(
+        "\n".join(f"class {name}:\n    pass\n" for name in vocabulary))
+
+    requests = [e.request for e in EXCHANGES]
+    replies = sorted({r for e in EXCHANGES for r in e.replies})
+    agent_receives = [r for r in requests if r != drop_receive]
+    agent_sends = replies + ([extra_agent_send] if extra_agent_send else [])
+    agent_lines = ["def serve(message):"]
+    for name in agent_receives:
+        agent_lines.append(f"    if isinstance(message, {name}):")
+        agent_lines.append("        pass")
+    agent_lines.append("def reply_all():")
+    for name in agent_sends:
+        agent_lines.append(f"    yield {name}()")
+    (core / "storage_agent.py").write_text("\n".join(agent_lines) + "\n")
+
+    client_lines = ["def drive(socket):"]
+    for name in requests:
+        client_lines.append(f"    socket.send({name}())")
+    for name in replies:
+        if name == drop_timeout_guard:
+            # Awaited, but with a bare (unguarded) receive.
+            client_lines.append(
+                f"    check = isinstance(socket.message, {name})")
+        else:
+            client_lines.append(
+                "    socket.recv_wait(0.5, predicate=lambda d: "
+                f"isinstance(d.message, {name}))")
+    (core / "distribution.py").write_text("\n".join(client_lines) + "\n")
+
+
+def test_real_sources_satisfy_the_spec():
+    assert check_protocol(PACKAGE_ROOT) == []
+
+
+def test_extraction_sees_both_sides():
+    vocabulary = frozenset(
+        extract_vocabulary(PACKAGE_ROOT / VOCABULARY_SOURCE))
+    agent = extract_side([PACKAGE_ROOT / AGENT_SOURCE], vocabulary)
+    assert "WriteRequest" in agent.receives
+    assert "WriteNak" in agent.sends and "WriteAck" in agent.sends
+
+
+def test_synthetic_complete_tree_is_clean(tmp_path):
+    _write_synthetic_tree(tmp_path)
+    assert check_protocol(tmp_path) == []
+
+
+def test_missing_receive_arm_is_an_illegal_transition(tmp_path):
+    _write_synthetic_tree(tmp_path, drop_receive="WriteData")
+    findings = check_protocol(tmp_path)
+    assert any(
+        f.rule_id == "protocol-transition"
+        and "WriteData" in f.message
+        and "no matching receive" in f.message
+        for f in findings), [f.message for f in findings]
+
+
+def test_unguarded_reply_wait_is_flagged(tmp_path):
+    _write_synthetic_tree(tmp_path, drop_timeout_guard="WriteAck")
+    findings = check_protocol(tmp_path)
+    assert any(f.rule_id == "protocol-timeout" and "WriteAck" in f.message
+               for f in findings), [f.message for f in findings]
+
+
+def test_undeclared_agent_message_is_flagged(tmp_path):
+    _write_synthetic_tree(tmp_path, extra_agent_send="RogueReply")
+    findings = check_protocol(tmp_path)
+    assert any(f.rule_id == "protocol-transition"
+               and "RogueReply" in f.message for f in findings)
+    # The rogue class is also undocumented vocabulary.
+    assert any(f.rule_id == "protocol-spec" and "RogueReply" in f.message
+               for f in findings)
+
+
+def test_machines_are_sound():
+    spec_path = Path("spec.py")
+    for machine in MACHINES:
+        assert _check_machine(machine, spec_path) == [], machine.name
+
+
+def test_machine_checker_catches_unreachable_state():
+    machine = StateMachine(
+        name="bad", initial="A", terminals=frozenset({"B"}),
+        transitions=(Transition("A", "send WriteRequest", "B"),
+                     Transition("C", "timeout", "B")))
+    findings = _check_machine(machine, Path("spec.py"))
+    assert any("unreachable" in f.message for f in findings)
+
+
+def test_machine_checker_catches_missing_timeout_edge():
+    machine = StateMachine(
+        name="bad", initial="A", terminals=frozenset({"B"}),
+        transitions=(Transition("A", "recv WriteAck", "B"),))
+    findings = _check_machine(machine, Path("spec.py"))
+    assert any("no timeout edge" in f.message for f in findings)
+
+
+def test_machine_checker_catches_trap_state():
+    machine = StateMachine(
+        name="bad", initial="A", terminals=frozenset({"B"}),
+        transitions=(Transition("A", "send WriteRequest", "B"),
+                     Transition("A", "timeout", "C"),
+                     Transition("C", "timeout", "C")))
+    findings = _check_machine(machine, Path("spec.py"))
+    assert any("cannot reach a terminal" in f.message for f in findings)
