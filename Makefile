@@ -13,8 +13,9 @@ test:
 
 lint:
 	$(PYTHON) -m repro check --json
+	$(PYTHON) -m repro check --races --json
 	@if command -v ruff >/dev/null 2>&1; then \
-		ruff check src tests; \
+		ruff check src tests benchmarks; \
 	else \
 		echo "ruff not installed; skipping style pass"; \
 	fi

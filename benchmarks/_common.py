@@ -9,6 +9,7 @@ shape-preserving configuration.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -29,6 +30,18 @@ def archive(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print()
     print(text)
+
+
+def archive_json(name: str, payload: dict) -> Path:
+    """Save a machine-readable result under benchmarks/results/.
+
+    Written as ``<name>.json`` with sorted keys so reruns diff cleanly;
+    returns the path for the caller to mention.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def format_series(title: str, points, x_label: str, y_label: str,

@@ -3,30 +3,107 @@
 Not a paper result — this guards the substrate every experiment runs on.
 Uses pytest-benchmark's statistics properly (multiple rounds) since the
 workload is cheap and deterministic.
+
+Beyond the pytest-benchmark numbers, this archives a machine-readable
+``BENCH_kernel_events.json`` with events/second, p50/p95 per-step
+latency, and the throughput cost of installing the happens-before race
+detector — so CI (and the next optimization PR) can diff kernel
+performance without parsing console output.  The monitor hooks
+themselves are lists tested for truthiness in the hot loop, so the
+uninstalled cost is a single branch per event; the JSON records the
+measured detector-on/off ratio.
 """
 
+import time
 
+from _common import archive_json, scaled
+
+from repro.check import RaceDetector
 from repro.des import Environment, Resource
 
 
-def _pingpong_workload():
+def _build(num_workers=8, holds=500):
     env = Environment()
     resource = Resource(env, capacity=2)
 
     def worker(env):
-        for _ in range(500):
+        for _ in range(holds):
             with resource.request() as req:
                 yield req
                 yield env.timeout(0.001)
 
-    for _ in range(8):
+    for _ in range(num_workers):
         env.process(worker(env))
+    return env
+
+
+def _pingpong_workload():
+    env = _build()
     env.run()
     return env.now
 
 
+def _timed_run(detector: bool = False):
+    """One full run; returns (events processed, elapsed seconds)."""
+    env = _build()
+    installed = None
+    if detector:
+        installed = RaceDetector(env, include_stacks=False)
+        installed.install()
+    start = time.perf_counter()
+    env.run()
+    elapsed = time.perf_counter() - start
+    if installed is not None:
+        installed.uninstall()
+    return env._eid, elapsed
+
+
+def _step_latencies():
+    """Per-event step() latencies over one run, in seconds."""
+    from repro.des.engine import EmptySchedule
+
+    env = _build()
+    samples = []
+    while True:
+        start = time.perf_counter()
+        try:
+            env.step()
+        except EmptySchedule:
+            break
+        samples.append(time.perf_counter() - start)
+    return sorted(samples)
+
+
+def _quantile(ordered, fraction):
+    index = min(len(ordered) - 1, max(0, round(fraction * len(ordered)) - 1))
+    return ordered[index]
+
+
 def bench_kernel_events(benchmark):
-    result = benchmark(_pingpong_workload)
+    benchmark(_pingpong_workload)
     # 8 workers x 500 holds of 1 ms through a capacity-2 resource: exactly
     # 4000 x 0.001 / 2 seconds of simulated time.
     assert abs(_pingpong_workload() - 2.0) < 1e-9
+
+    rounds = scaled(5, 3)
+    plain = [_timed_run() for _ in range(rounds)]
+    events = plain[0][0]
+    best_plain = min(elapsed for _, elapsed in plain)
+    detected = min(_timed_run(detector=True)[1] for _ in range(rounds))
+    latencies = _step_latencies()
+
+    payload = {
+        "workload": "8 workers x 500 holds, capacity-2 resource",
+        "events": events,
+        "events_per_sec": events / best_plain,
+        "p50_step_latency_us": _quantile(latencies, 0.50) * 1e6,
+        "p95_step_latency_us": _quantile(latencies, 0.95) * 1e6,
+        "race_detector_events_per_sec": events / detected,
+        "race_detector_overhead_ratio": detected / best_plain,
+    }
+    path = archive_json("BENCH_kernel_events", payload)
+    print(f"\nkernel: {payload['events_per_sec']:,.0f} events/s "
+          f"(p50 {payload['p50_step_latency_us']:.2f} us, "
+          f"p95 {payload['p95_step_latency_us']:.2f} us); "
+          f"race detector x{payload['race_detector_overhead_ratio']:.2f} "
+          f"-> {path}")

@@ -16,10 +16,19 @@ defence:
 * :mod:`repro.check.sanitize` — opt-in runtime sanitizer hooks for the DES:
   event-time monotonicity, resource-leak detection, cross-stream RNG
   sharing.
+* :mod:`repro.check.races` — static interleaving lints that model
+  ``yield`` as a preemption point (lost-update RMW spans, lock-order
+  cycles); run with ``python -m repro check --races``.
+* :mod:`repro.check.hb` — dynamic happens-before race detection over a
+  live DES run, fed by the engine's monitor hooks.
+* :mod:`repro.check.perturb` — the schedule-perturbation harness: rerun
+  a scenario under K seeded same-(time, priority) shuffles and assert
+  the metrics are bit-identical.
 
 Run everything from the command line::
 
     python -m repro check [--json]
+    python -m repro check --races [--json]
 
 which exits non-zero when any violation is found.  Individual lint findings
 can be suppressed with a ``# repro: allow[rule-id]`` comment on the
@@ -27,8 +36,17 @@ offending line (or the line above); see docs/CHECKING.md.
 """
 
 from .findings import Finding, Severity
+from .hb import RaceDetector, RaceError, RaceReport, detect_races
 from .lint import LintEngine, Rule, iter_python_files
+from .perturb import (
+    PerturbationReport,
+    ScheduleRaceError,
+    ScheduleTrace,
+    assert_schedule_invariant,
+    run_perturbed,
+)
 from .protocol import check_protocol
+from .races import RACE_RULES, race_rule_registry
 from .report import render_json, render_text
 from .rules import DEFAULT_RULES, rule_registry
 from .sanitize import (
@@ -47,6 +65,8 @@ __all__ = [
     "iter_python_files",
     "rule_registry",
     "DEFAULT_RULES",
+    "RACE_RULES",
+    "race_rule_registry",
     "check_protocol",
     "render_text",
     "render_json",
@@ -56,6 +76,15 @@ __all__ = [
     "MonotonicityError",
     "ResourceLeakError",
     "SharedStreamError",
+    "RaceDetector",
+    "RaceReport",
+    "RaceError",
+    "detect_races",
+    "ScheduleTrace",
+    "PerturbationReport",
+    "ScheduleRaceError",
+    "run_perturbed",
+    "assert_schedule_invariant",
 ]
 
 

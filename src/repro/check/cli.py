@@ -8,10 +8,16 @@ from pathlib import Path
 
 from .lint import LintEngine, iter_python_files
 from .protocol import check_protocol
+from .races import race_rule_registry
 from .report import exit_code, render_json, render_text
 from .rules import rule_registry
 
 __all__ = ["add_check_arguments", "run_check_command", "main"]
+
+#: Package subdirectories the ``--races`` pass audits by default.  The
+#: race lints model ``yield`` as a preemption point, which only makes
+#: sense for code that runs inside the DES.
+RACE_SCAN_SUBDIRS = ("core", "des", "simnet", "simdisk")
 
 
 def add_check_arguments(parser: argparse.ArgumentParser) -> None:
@@ -26,19 +32,25 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--rules", default=None,
         help="comma-separated rule ids to run (default: all); "
-             f"known: {', '.join(sorted(rule_registry()))}")
+             f"known: {', '.join(sorted(rule_registry()))} and, under "
+             f"--races: {', '.join(sorted(race_rule_registry()))}")
     parser.add_argument(
         "--no-protocol", action="store_true",
         help="skip the protocol state-machine checker")
+    parser.add_argument(
+        "--races", action="store_true",
+        help="run the interleaving race lints (yield-rmw, lock-order) "
+             "instead of the determinism pass; audits the DES-facing "
+             "subpackages (" + ", ".join(RACE_SCAN_SUBDIRS) + ") unless "
+             "--root is given")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit")
 
 
-def _selected_rules(spec: str | None):
-    registry = rule_registry()
+def _selected_rules(spec: str | None, registry: dict):
     if spec is None:
-        return None  # engine default: everything
+        return None  # engine default: everything in the registry
     chosen = []
     for rule_id in (piece.strip() for piece in spec.split(",")):
         if not rule_id:
@@ -51,11 +63,44 @@ def _selected_rules(spec: str | None):
     return chosen
 
 
+def _race_roots(root_arg: str | None) -> list[Path]:
+    """The directories the ``--races`` pass walks."""
+    if root_arg is not None:
+        root = Path(root_arg)
+        if not root.exists():
+            raise SystemExit(f"no such path: {root}")
+        return [root]
+    package = Path(__file__).resolve().parent.parent
+    return [package / name for name in RACE_SCAN_SUBDIRS
+            if (package / name).exists()]
+
+
+def _run_races(args) -> int:
+    registry = race_rule_registry()
+    rules = _selected_rules(args.rules, registry)
+    if rules is None:
+        rules = [rule() for rule in registry.values()]
+    engine = LintEngine(rules=rules)
+    findings = []
+    checked = 0
+    for root in _race_roots(args.root):
+        findings.extend(engine.check_tree(root))
+        checked += sum(1 for _ in iter_python_files(root))
+    findings.sort(key=lambda f: (str(f.path), f.line, f.rule_id))
+    if args.json:
+        print(render_json(findings, checked_paths=checked))
+    else:
+        print(render_text(findings, checked_paths=checked))
+    return exit_code(findings)
+
+
 def run_check_command(args) -> int:
     """Execute ``repro check`` with parsed ``args``; returns exit code."""
     if args.list_rules:
         for rule_id, rule in sorted(rule_registry().items()):
             print(f"{rule_id:<18} {rule.summary}")
+        for rule_id, rule in sorted(race_rule_registry().items()):
+            print(f"{rule_id:<18} {rule.summary} [--races]")
         print(f"{'protocol-spec':<18} spec vocabulary matches "
               "agent_protocol.py")
         print(f"{'protocol-machine':<18} state machines are sound "
@@ -66,6 +111,9 @@ def run_check_command(args) -> int:
               "timeout-guarded")
         return 0
 
+    if args.races:
+        return _run_races(args)
+
     if args.root is None:
         root = Path(__file__).resolve().parent.parent
     else:
@@ -73,7 +121,7 @@ def run_check_command(args) -> int:
     if not root.exists():
         raise SystemExit(f"no such path: {root}")
 
-    engine = LintEngine(rules=_selected_rules(args.rules))
+    engine = LintEngine(rules=_selected_rules(args.rules, rule_registry()))
     findings = engine.check_tree(root)
     if not args.no_protocol:
         findings.extend(check_protocol(root))

@@ -1,0 +1,336 @@
+"""Dynamic happens-before race detection for DES runs.
+
+A discrete-event run is sequential, so "race" here means *schedule
+sensitivity*: two conflicting accesses to one shared object that are
+
+* at the **same simulated time** — only same-timestamp ties can be
+  reordered by the calendar's tie-break (earlier-time events always run
+  first, whatever the tie-break does), and
+* **unordered by happens-before** — neither access's process segment is
+  a causal ancestor of the other's, so the tie-break really could run
+  them in either order.
+
+Such a pair is exactly what the schedule-perturbation harness
+(:mod:`repro.check.perturb`) would flip — this detector finds it in a
+single run and reports both stack traces.
+
+The happens-before relation is tracked with per-process vector clocks
+fed by the engine's monitor hooks:
+
+* **scheduling** stamps every event with the logical clock of the
+  segment that scheduled it (:meth:`Environment.add_schedule_monitor`);
+* **stepping** joins a popped event's clock into every process it
+  resumes, and into anything scheduled from its callbacks
+  (:meth:`Environment.add_step_monitor`);
+* **resources** add a release→acquire edge so serialized holders are
+  ordered (:meth:`Environment.add_resource_monitor`).
+
+Accesses come from the engine's access instrumentation (``Resource``
+queue mutations, ``Store`` puts/gets/purges) and from any stats
+accumulator handed to :meth:`RaceDetector.watch`.
+
+Usage::
+
+    from repro.check import detect_races
+
+    with detect_races(model.env, watch=[model.stats]) as detector:
+        model.run()
+    assert not detector.races, detector.format_races()
+"""
+
+from __future__ import annotations
+
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from ..des.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..des.engine import Environment
+
+__all__ = ["RaceDetector", "RaceReport", "AccessRecord", "RaceError",
+           "detect_races"]
+
+#: Vector clocks are plain dicts: pid -> segment counter.
+_Clock = dict
+
+#: Pseudo-pid for the root segment (model setup, before the first step).
+_ROOT_PID = 0
+
+
+def _happens_before(earlier: _Clock, later: _Clock) -> bool:
+    """True when ``earlier`` ≤ ``later`` componentwise (causally ordered)."""
+    return all(later.get(pid, 0) >= count for pid, count in earlier.items())
+
+
+class RaceError(AssertionError):
+    """Raised by :meth:`RaceDetector.assert_clean` when races were found."""
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One instrumented access to a shared object."""
+
+    owner: str
+    label: str
+    is_write: bool
+    clock: _Clock
+    stack: str
+
+    def describe(self) -> str:
+        kind = "write" if self.is_write else "read"
+        text = f"{kind} by {self.owner}"
+        if self.stack:
+            text += "\n" + self.stack
+        return text
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """Two conflicting, tie-break-reorderable accesses to one object."""
+
+    time: float
+    label: str
+    obj_repr: str
+    first: AccessRecord
+    second: AccessRecord
+
+    def format(self) -> str:
+        return (
+            f"race at t={self.time:.9f} on {self.obj_repr} ({self.label}): "
+            "two accesses at the same timestamp with no happens-before "
+            "order — the calendar tie-break decides which runs first\n"
+            f"--- first {self.first.describe()}\n"
+            f"--- second {self.second.describe()}")
+
+
+class RaceDetector:
+    """Vector-clock happens-before tracker attached to one environment."""
+
+    #: Stop accumulating after this many reports (a racy model can
+    #: conflict on every event; the first few localize the bug).
+    MAX_RACES = 64
+
+    #: Same-object operation pairs that commute: either order produces
+    #: the identical final state, so a tie-break flip is invisible and
+    #: reporting it would be a false alarm.  An enqueue and a release on
+    #: one Resource commute (the enqueuer takes its ticket and the freed
+    #: server goes to the head waiter either way); two releases each free
+    #: their own slot; a Store put and get pair up the same item whether
+    #: the item or the taker arrives first.  What does NOT commute —
+    #: and stays a conflict — is enqueue/enqueue (ticket order decides
+    #: FIFO grant order), put/put and get/get (buffer order), and purge
+    #: against anything.
+    COMMUTING = frozenset([
+        frozenset(["Resource.request", "Resource.release"]),
+        frozenset(["Resource.release"]),
+        frozenset(["Store.put", "Store.get"]),
+    ])
+
+    def __init__(self, env: "Environment", include_stacks: bool = True,
+                 stack_depth: int = 8):
+        self.env = env
+        self.include_stacks = include_stacks
+        self.stack_depth = stack_depth
+        #: Confirmed schedule-sensitivity reports, in detection order.
+        self.races: list[RaceReport] = []
+        self._pids: dict[int, int] = {}
+        self._pid_refs: list = []          # keeps id() keys unique
+        self._next_pid = _ROOT_PID
+        self._clocks: dict[int, _Clock] = {_ROOT_PID: {_ROOT_PID: 1}}
+        #: Causal context for callback-phase scheduling (the clock of the
+        #: event currently being processed).
+        self._current: _Clock = self._clocks[_ROOT_PID]
+        #: (request, clock) captured at grant time, merged into the grant
+        #: event when it is scheduled a moment later.
+        self._pending_acquire: Optional[tuple] = None
+        #: id(obj) -> (timestamp, [AccessRecord...]) for the current time.
+        self._history: dict[int, tuple] = {}
+        self._watched: list[tuple] = []    # (obj, previous observer)
+        self._obj_refs: list = []          # keeps history id() keys unique
+        self._installed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def install(self) -> None:
+        """Attach to the environment's monitor hooks."""
+        if self._installed:  # pragma: no cover - defensive
+            return
+        self.env.add_schedule_monitor(self._on_schedule)
+        self.env.add_step_monitor(self._on_step)
+        self.env.add_resource_monitor(self._on_resource)
+        self.env.add_access_monitor(self._on_access)
+        self._installed = True
+
+    def uninstall(self) -> None:
+        """Detach every hook and restore watched observers."""
+        if not self._installed:  # pragma: no cover - defensive
+            return
+        self.env.remove_schedule_monitor(self._on_schedule)
+        self.env.remove_step_monitor(self._on_step)
+        self.env.remove_resource_monitor(self._on_resource)
+        self.env.remove_access_monitor(self._on_access)
+        for obj, previous in self._watched:
+            obj.observer = previous
+        self._watched.clear()
+        self._installed = False
+
+    def watch(self, obj, label: Optional[str] = None) -> None:
+        """Track accesses to a stats accumulator (anything exposing the
+        ``observer`` hook of :class:`~repro.des.stats.OnlineStats` /
+        :class:`~repro.des.stats.Histogram`)."""
+        if not hasattr(obj, "observer"):
+            raise TypeError(
+                f"{obj!r} has no observer hook; watch() takes stats "
+                "accumulators (OnlineStats, Histogram)")
+        name = label or type(obj).__name__
+        previous = obj.observer
+
+        def hook(instance, _name=name, _previous=previous):
+            if _previous is not None:
+                _previous(instance)
+            self._on_access(instance, _name, True)
+
+        obj.observer = hook
+        self._watched.append((obj, previous))
+
+    def assert_clean(self) -> None:
+        """Raise :class:`RaceError` listing every detected race."""
+        if self.races:
+            raise RaceError(self.format_races())
+
+    def format_races(self) -> str:
+        """All reports as one human-readable block."""
+        count = len(self.races)
+        header = (f"{count} schedule-sensitive access pair(s) detected"
+                  + (" (truncated)" if count >= self.MAX_RACES else ""))
+        return "\n\n".join([header] + [r.format() for r in self.races])
+
+    # -- clock plumbing -----------------------------------------------------
+
+    def _pid(self, process) -> int:
+        key = id(process)
+        pid = self._pids.get(key)
+        if pid is None:
+            self._next_pid += 1
+            pid = self._next_pid
+            self._pids[key] = pid
+            self._pid_refs.append(process)
+        return pid
+
+    def _segment_clock(self) -> _Clock:
+        """The live clock of whatever is executing right now."""
+        process = self.env.active_process
+        if process is not None:
+            pid = self._pid(process)
+            clock = self._clocks.setdefault(pid, {})
+            if not clock.get(pid):
+                clock[pid] = 1
+            return clock
+        return self._current
+
+    def _on_schedule(self, event, active_process) -> None:
+        snapshot = dict(self._segment_clock())
+        pending = self._pending_acquire
+        if pending is not None and pending[0] is event:
+            for pid, count in pending[1].items():
+                if snapshot.get(pid, 0) < count:
+                    snapshot[pid] = count
+            self._pending_acquire = None
+        event._hb_clock = snapshot
+
+    def _on_step(self, when, event) -> None:
+        clock = getattr(event, "_hb_clock", None)
+        if clock is None:
+            clock = dict(self._clocks[_ROOT_PID])
+        self._current = clock
+        for callback in (event.callbacks or ()):
+            process = getattr(callback, "__self__", None)
+            if isinstance(process, Process):
+                pid = self._pid(process)
+                own = self._clocks.setdefault(pid, {})
+                for other, count in clock.items():
+                    if own.get(other, 0) < count:
+                        own[other] = count
+                own[pid] = own.get(pid, 0) + 1  # new segment begins
+
+    def _on_resource(self, action: str, resource, request) -> None:
+        if action == "release":
+            resource._hb_release = dict(self._segment_clock())
+        elif action == "acquire":
+            stored = getattr(resource, "_hb_release", None)
+            if stored is not None:
+                self._pending_acquire = (request, stored)
+
+    # -- conflict detection -------------------------------------------------
+
+    def _on_access(self, obj, label: str, is_write: bool) -> None:
+        when = self.env.now
+        snapshot = dict(self._segment_clock())
+        record = AccessRecord(
+            owner=self._owner_label(),
+            label=label,
+            is_write=is_write,
+            clock=snapshot,
+            stack=self._stack() if self.include_stacks else "",
+        )
+        key = id(obj)
+        entry = self._history.get(key)
+        if entry is None or entry[0] != when:
+            self._obj_refs.append(obj)
+            records: list[AccessRecord] = []
+            self._history[key] = (when, records)
+        else:
+            records = entry[1]
+        if len(self.races) < self.MAX_RACES:
+            for previous in records:
+                if not (previous.is_write or is_write):
+                    continue
+                if frozenset([previous.label, label]) in self.COMMUTING:
+                    continue
+                if _happens_before(previous.clock, snapshot):
+                    continue
+                if _happens_before(snapshot, previous.clock):
+                    continue
+                self.races.append(RaceReport(
+                    time=when, label=label, obj_repr=repr(obj),
+                    first=previous, second=record))
+                if len(self.races) >= self.MAX_RACES:
+                    break
+        records.append(record)
+
+    def _owner_label(self) -> str:
+        process = self.env.active_process
+        if process is not None:
+            return repr(process)
+        return "<callback phase>"
+
+    def _stack(self) -> str:
+        frames = traceback.extract_stack()
+        # Drop this module's own frames from the tail.
+        while frames and frames[-1].filename == __file__:
+            frames.pop()
+        tail = frames[-self.stack_depth:]
+        return "".join(traceback.format_list(tail)).rstrip()
+
+
+@contextmanager
+def detect_races(env: "Environment", watch: Iterable = (),
+                 include_stacks: bool = True):
+    """Run a DES block under the happens-before race detector.
+
+    ``watch`` is an iterable of stats accumulators to instrument on top
+    of the always-on ``Resource``/``Store`` access hooks.  The detector
+    does not raise by itself; inspect ``detector.races`` or call
+    ``detector.assert_clean()`` after the block.
+    """
+    detector = RaceDetector(env, include_stacks=include_stacks)
+    for obj in watch:
+        detector.watch(obj)
+    detector.install()
+    try:
+        yield detector
+    finally:
+        detector.uninstall()

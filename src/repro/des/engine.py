@@ -21,7 +21,7 @@ from typing import Any, Optional
 from .events import AllOf, AnyOf, Event, Timeout
 from .process import Process, ProcessGenerator
 
-__all__ = ["Environment", "EmptySchedule", "StopSimulation"]
+__all__ = ["Environment", "EmptySchedule", "StopSimulation", "tie_break_key"]
 
 
 class EmptySchedule(Exception):
@@ -32,11 +32,33 @@ class StopSimulation(Exception):
     """Raised to terminate :meth:`Environment.run` early."""
 
 
+def tie_break_key(seed: int, eid: int) -> tuple[int, int]:
+    """Deterministic shuffle key for one calendar entry.
+
+    An FNV-1a mix of ``(seed, eid)``: same-``(time, priority)`` entries
+    sort by the hash instead of by insertion order, so each seed yields
+    one fixed permutation of every tie.  The trailing ``eid`` keeps the
+    key total even on hash collisions.
+    """
+    digest = 2166136261
+    for char in f"{seed}:{eid}":
+        digest = ((digest ^ ord(char)) * 16777619) % (1 << 64)
+    return (digest, eid)
+
+
 class Environment:
     """Execution environment for a single simulation run.
 
     Time is a float in *seconds* throughout this project (disk and network
     models convert from ms/µs at their boundaries).
+
+    Calendar entries sort by ``(time, priority, eid)`` — equal-time,
+    equal-priority events run in the order they were scheduled.  Passing
+    ``tie_break_seed`` replaces the ``eid`` component with a seeded hash
+    of it, deterministically shuffling every same-``(time, priority)``
+    tie: the schedule-perturbation harness (:mod:`repro.check.perturb`)
+    runs the same scenario under several seeds and asserts the metrics do
+    not move, which proves no result leans on tie-break order.
     """
 
     #: Events scheduled with urgent priority run before normal events that
@@ -44,16 +66,20 @@ class Environment:
     PRIORITY_URGENT = 0
     PRIORITY_NORMAL = 1
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0,
+                 tie_break_seed: Optional[int] = None):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: list = []
         self._eid = 0
         self._active_process: Optional[Process] = None
-        # Monitoring hooks (repro.check.sanitize attaches here).  Both
-        # lists are empty in normal runs so the hot loop pays only a
-        # truthiness test per event.
+        self.tie_break_seed = tie_break_seed
+        # Monitoring hooks (repro.check.sanitize and repro.check.hb attach
+        # here).  All lists are empty in normal runs so the hot loop pays
+        # only a truthiness test per event.
         self._step_monitors: list = []
         self._resource_monitors: list = []
+        self._schedule_monitors: list = []
+        self._access_monitors: list = []
 
     # -- clock ----------------------------------------------------------------
 
@@ -102,6 +128,42 @@ class Environment:
         for callback in self._resource_monitors:
             callback(action, resource, request)
 
+    def add_schedule_monitor(self, callback) -> None:
+        """Call ``callback(event, active_process)`` whenever an event is
+        placed on the calendar.
+
+        ``active_process`` is the process whose segment scheduled the
+        event (None for callback-phase or setup-time scheduling).  The
+        happens-before tracker uses this to stamp each event with the
+        logical clock of the segment that caused it.
+        """
+        self._schedule_monitors.append(callback)
+
+    def remove_schedule_monitor(self, callback) -> None:
+        """Detach a schedule monitor (no-op if absent)."""
+        try:
+            self._schedule_monitors.remove(callback)
+        except ValueError:
+            pass
+
+    def add_access_monitor(self, callback) -> None:
+        """Call ``callback(obj, label, is_write)`` on every instrumented
+        shared-state access (:class:`~repro.des.resources.Resource` queue
+        mutations, :class:`~repro.des.resources.Store` puts/gets/purges).
+        """
+        self._access_monitors.append(callback)
+
+    def remove_access_monitor(self, callback) -> None:
+        """Detach an access monitor (no-op if absent)."""
+        try:
+            self._access_monitors.remove(callback)
+        except ValueError:
+            pass
+
+    def _notify_access(self, obj, label: str, is_write: bool) -> None:
+        for callback in self._access_monitors:
+            callback(obj, label, is_write)
+
     # -- event factories --------------------------------------------------------
 
     def event(self) -> Event:
@@ -134,9 +196,12 @@ class Environment:
     ) -> None:
         """Place a triggered event on the calendar ``delay`` seconds ahead."""
         self._eid += 1
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, self._eid, event)
-        )
+        if self._schedule_monitors:
+            for monitor in self._schedule_monitors:
+                monitor(event, self._active_process)
+        tie = (self._eid if self.tie_break_seed is None
+               else tie_break_key(self.tie_break_seed, self._eid))
+        heapq.heappush(self._queue, (self._now + delay, priority, tie, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""

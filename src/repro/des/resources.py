@@ -44,8 +44,21 @@ class Request(Event):
         self.resource.release(self)
 
     def cancel(self) -> None:
-        """Withdraw the request (granted or not)."""
-        self.resource.release(self)
+        """Withdraw the request.
+
+        Before the grant, the request is silently removed from the wait
+        queue and its event never fires — no :class:`Release` is created,
+        so cancelling cannot free a server the canceller never held.
+        After the grant (even if the granting event has not yet been
+        processed) the server slot is genuinely occupied, so cancel
+        behaves exactly like :meth:`Resource.release`.  Cancelling twice,
+        or cancelling and then leaving the ``with`` block, is a no-op the
+        second time.
+        """
+        if self.triggered:
+            self.resource.release(self)
+        else:
+            self.resource._withdraw(self)
 
 
 class Release(Event):
@@ -96,6 +109,8 @@ class Resource:
     # -- internals ------------------------------------------------------------
 
     def _enqueue(self, request: Request) -> None:
+        if self.env._access_monitors:
+            self.env._notify_access(self, "Resource.request", True)
         heapq.heappush(
             self._waiting, (request.priority, next(self._ticket), request)
         )
@@ -104,14 +119,24 @@ class Resource:
     def _dequeue(self, request: Request) -> None:
         if request in self.users:
             self.users.remove(request)
+            if self.env._access_monitors:
+                self.env._notify_access(self, "Resource.release", True)
             if self.env._resource_monitors:
                 self.env._notify_resource("release", self, request)
             self._grant()
         else:
-            # Withdraw from the wait queue (lazily: mark and filter).
-            self._waiting = [
-                entry for entry in self._waiting if entry[2] is not request
-            ]
+            # Releasing a request that was never granted (or was already
+            # released) degrades to a queue withdrawal, which is a no-op
+            # if the request is not waiting either.
+            self._withdraw(request)
+
+    def _withdraw(self, request: Request) -> None:
+        """Remove ``request`` from the wait queue without firing anything."""
+        survivors = [
+            entry for entry in self._waiting if entry[2] is not request
+        ]
+        if len(survivors) != len(self._waiting):
+            self._waiting = survivors
             heapq.heapify(self._waiting)
 
     def _grant(self) -> None:
@@ -129,6 +154,8 @@ class StorePut(Event):
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)
         self.item = item
+        if store.env._access_monitors:
+            store.env._notify_access(store, "Store.put", True)
         store._put_queue.append(self)
         store._dispatch()
 
@@ -140,6 +167,8 @@ class StoreGet(Event):
         super().__init__(store.env)
         self.store = store
         self.predicate = predicate
+        if store.env._access_monitors:
+            store.env._notify_access(store, "Store.get", True)
         store._get_queue.append(self)
         store._dispatch()
 
@@ -187,6 +216,8 @@ class Store:
 
     def purge(self, predicate: Callable[[Any], bool]) -> int:
         """Discard buffered items matching ``predicate``; returns the count."""
+        if self.env._access_monitors:
+            self.env._notify_access(self, "Store.purge", True)
         keep = [item for item in self.items if not predicate(item)]
         removed = len(self.items) - len(keep)
         self.items = keep

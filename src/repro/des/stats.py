@@ -95,6 +95,10 @@ class OnlineStats:
         self._m2 = 0.0
         self._min = math.inf
         self._max = -math.inf
+        #: Called with this accumulator before every :meth:`add` — the
+        #: happens-before race detector (:mod:`repro.check.hb`) attaches
+        #: here to see which process segment folds each observation in.
+        self.observer = None
 
     def reset(self) -> None:
         """Drop every observation (back to the freshly built state).
@@ -111,6 +115,8 @@ class OnlineStats:
 
     def add(self, value: float) -> None:
         """Fold one observation into the accumulator."""
+        if self.observer is not None:
+            self.observer(self)
         self.count += 1
         delta = value - self._mean
         self._mean += delta / self.count
@@ -233,9 +239,13 @@ class Histogram:
     def __init__(self):
         self._samples: list[float] = []
         self._sorted: list[float] | None = None
+        #: Race-detector hook, as on :class:`OnlineStats`.
+        self.observer = None
 
     def add(self, value: float) -> None:
         """Record one observation."""
+        if self.observer is not None:
+            self.observer(self)
         self._samples.append(value)
         self._sorted = None
 

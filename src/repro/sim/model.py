@@ -76,7 +76,7 @@ class SwiftSimModel:
     def __init__(self, config: SimConfig, storage_factory=None,
                  trace=None):
         self.config = config
-        self.env = Environment()
+        self.env = Environment(tie_break_seed=config.tie_break_seed)
         self.streams = StreamFactory(config.seed)
         cost = mips_cost_model(config.host_mips)
         self.ring = TokenRing(self.env, "ring",

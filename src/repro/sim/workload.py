@@ -37,6 +37,10 @@ class SimConfig:
     num_requests: int = 400            # completions measured per run
     warmup_requests: int = 40
     seed: int = 0
+    # Schedule-perturbation mode (repro.check.perturb): a non-None seed
+    # deterministically shuffles same-(time, priority) calendar ties so
+    # the harness can prove the metrics don't lean on the tie-break.
+    tie_break_seed: int | None = None
     # §6.1.2 extension: real-time disk scheduling for data-rate guarantees.
     # A ``realtime_fraction`` of requests are continuous-media transfers
     # that must complete within ``deadline_s`` of arrival; the rest are

@@ -1,0 +1,17 @@
+"""Fixture: two processes nesting the same resources in opposite order."""
+
+
+def forward(env, disk, ring):
+    with disk.request() as hold_disk:
+        yield hold_disk
+        with ring.request() as hold_ring:
+            yield hold_ring
+            yield env.timeout(0.001)
+
+
+def backward(env, disk, ring):
+    with ring.request() as hold_ring:
+        yield hold_ring
+        with disk.request() as hold_disk:
+            yield hold_disk
+            yield env.timeout(0.001)

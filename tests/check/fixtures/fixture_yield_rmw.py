@@ -1,0 +1,16 @@
+"""Fixture: a lost-update read-modify-write spanning a yield."""
+
+
+def lossy_increment(env, shared):
+    snapshot = shared.total
+    yield env.timeout(0.001)
+    shared.total = snapshot + 1
+
+
+def guarded_increment(env, shared, lock):
+    # The same shape under a request() hold is serialized, hence clean.
+    with lock.request() as grant:
+        yield grant
+        snapshot = shared.total
+        yield env.timeout(0.001)
+        shared.total = snapshot + 1

@@ -126,6 +126,114 @@ def test_cancel_waiting_request():
     assert granted == [2.0]
 
 
+def test_cancel_before_grant_never_fires_and_frees_the_queue():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    cancelled = []
+
+    def holder(env):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(2.0)
+
+    def canceller(env):
+        yield env.timeout(0.5)
+        req = resource.request()
+        yield env.timeout(0.5)
+        req.cancel()
+        cancelled.append(req)
+
+    env.process(holder(env))
+    env.process(canceller(env))
+    env.run()
+    req = cancelled[0]
+    # The withdrawn request's event must never fire (no phantom grant,
+    # no Release routed through a server it never held).
+    assert not req.triggered
+    assert resource.count == 0
+    assert resource.queue_length == 0
+
+
+def test_cancel_after_grant_releases_and_grants_next_waiter():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    granted = []
+
+    def first(env):
+        req = resource.request()
+        yield req
+        yield env.timeout(1.0)
+        req.cancel()  # granted, so this is a release
+
+    def second(env):
+        yield env.timeout(0.5)
+        with resource.request() as req:
+            yield req
+            granted.append(env.now)
+
+    env.process(first(env))
+    env.process(second(env))
+    env.run()
+    assert granted == [1.0]
+    assert resource.count == 0
+
+
+def test_cancel_granted_but_unprocessed_request():
+    # The grant event has fired but the waiter has not resumed yet: the
+    # server slot is genuinely occupied, so cancel must release it.
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    req = resource.request()
+    assert resource.count == 1
+    req.cancel()
+    assert resource.count == 0
+    assert resource.queue_length == 0
+
+
+def test_double_cancel_is_a_no_op():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    blocker = resource.request()
+    assert blocker.triggered
+    waiting = resource.request()
+    waiting.cancel()
+    waiting.cancel()  # second cancel must not disturb anything
+    assert resource.queue_length == 0
+    assert resource.count == 1
+    blocker.cancel()
+    blocker.cancel()
+    assert resource.count == 0
+
+
+def test_cancel_then_context_exit_releases_once():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+    log = []
+
+    def early_leaver(env):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(0.5)
+            req.cancel()
+            yield env.timeout(0.5)
+        # __exit__ ran after an explicit cancel: must not double-release.
+        log.append(("left", resource.count))
+
+    def bystander(env):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(2.0)
+            log.append(("bystander-done", resource.count))
+
+    env.process(early_leaver(env))
+    env.process(bystander(env))
+    env.run()
+    # A double release would have evicted the bystander's slot.
+    assert ("left", 1) in log
+    assert ("bystander-done", 1) in log
+    assert resource.count == 0
+
+
 def test_store_put_get_fifo():
     env = Environment()
     store = Store(env)
