@@ -14,6 +14,7 @@ test:
 lint:
 	$(PYTHON) -m repro check --json
 	$(PYTHON) -m repro check --races --json
+	$(PYTHON) -m repro check --units src/ --json
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks; \
 	else \

@@ -18,7 +18,8 @@ import time
 
 from _common import archive_json, scaled
 
-from repro.check import RaceDetector
+from repro.check import ConservationLedger, RaceDetector
+from repro.core import build_local_swift
 from repro.des import Environment, Resource
 
 
@@ -74,6 +75,29 @@ def _step_latencies():
     return sorted(samples)
 
 
+def _swift_transfer_run(ledger: bool = False):
+    """A striped write+read session; returns (kernel events, elapsed,
+    ledger events observed).  Prices the byte-conservation sanitizer on
+    the workload that actually emits transfer events."""
+    deployment = build_local_swift(num_agents=4, parity=True)
+    installed = None
+    if ledger:
+        installed = ConservationLedger(deployment.env).install()
+    client = deployment.client()
+    start = time.perf_counter()
+    handle = client.open("obj", "w", parity=True, striping_unit=8192)
+    handle.pwrite(0, b"\xa5" * (1 << 18))
+    handle.pread(0, 1 << 18)
+    handle.close()
+    elapsed = time.perf_counter() - start
+    observed = 0
+    if installed is not None:
+        installed.assert_clean()
+        observed = installed.events_observed
+        installed.uninstall()
+    return deployment.env._eid, elapsed, observed
+
+
 def _quantile(ordered, fraction):
     index = min(len(ordered) - 1, max(0, round(fraction * len(ordered)) - 1))
     return ordered[index]
@@ -92,6 +116,13 @@ def bench_kernel_events(benchmark):
     detected = min(_timed_run(detector=True)[1] for _ in range(rounds))
     latencies = _step_latencies()
 
+    transfers = [_swift_transfer_run() for _ in range(rounds)]
+    transfer_events = transfers[0][0]
+    best_transfer = min(elapsed for _, elapsed, _ in transfers)
+    ledgered = [_swift_transfer_run(ledger=True) for _ in range(rounds)]
+    best_ledgered = min(elapsed for _, elapsed, _ in ledgered)
+    ledger_events = ledgered[0][2]
+
     payload = {
         "workload": "8 workers x 500 holds, capacity-2 resource",
         "events": events,
@@ -100,10 +131,17 @@ def bench_kernel_events(benchmark):
         "p95_step_latency_us": _quantile(latencies, 0.95) * 1e6,
         "race_detector_events_per_sec": events / detected,
         "race_detector_overhead_ratio": detected / best_plain,
+        "transfer_workload": "256 KiB parity write + read over 3+1 agents",
+        "transfer_kernel_events": transfer_events,
+        "conservation_ledger_events": ledger_events,
+        "conservation_ledger_events_per_sec": transfer_events / best_ledgered,
+        "conservation_ledger_overhead_ratio": best_ledgered / best_transfer,
     }
     path = archive_json("BENCH_kernel_events", payload)
     print(f"\nkernel: {payload['events_per_sec']:,.0f} events/s "
           f"(p50 {payload['p50_step_latency_us']:.2f} us, "
           f"p95 {payload['p95_step_latency_us']:.2f} us); "
-          f"race detector x{payload['race_detector_overhead_ratio']:.2f} "
+          f"race detector x{payload['race_detector_overhead_ratio']:.2f}; "
+          f"conservation ledger "
+          f"x{payload['conservation_ledger_overhead_ratio']:.2f} "
           f"-> {path}")

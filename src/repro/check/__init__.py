@@ -24,11 +24,19 @@ defence:
 * :mod:`repro.check.perturb` — the schedule-perturbation harness: rerun
   a scenario under K seeded same-(time, priority) shuffles and assert
   the metrics are bit-identical.
+* :mod:`repro.check.units` — a dimensional-analysis lint: infer units
+  (bytes, seconds, bytes/s, ...) from names and the ``repro.units``
+  seed table, propagate them through arithmetic, and flag mixed-unit
+  expressions, inline ``*8``/``/8`` bit-byte factors and magic scale
+  constants; run with ``python -m repro check --units``.
+* :mod:`repro.check.conserve` — a runtime byte-conservation ledger over
+  the striped data path, fed by the engine's transfer-monitor hook.
 
 Run everything from the command line::
 
     python -m repro check [--json]
     python -m repro check --races [--json]
+    python -m repro check --units [paths ...] [--json]
 
 which exits non-zero when any violation is found.  Individual lint findings
 can be suppressed with a ``# repro: allow[rule-id]`` comment on the
@@ -49,6 +57,8 @@ from .protocol import check_protocol
 from .races import RACE_RULES, race_rule_registry
 from .report import render_json, render_text
 from .rules import DEFAULT_RULES, rule_registry
+from .units import UNIT_RULES, unit_rule_registry
+from .conserve import ConservationError, ConservationLedger, conserve
 from .sanitize import (
     MonotonicityError,
     ResourceLeakError,
@@ -67,6 +77,11 @@ __all__ = [
     "DEFAULT_RULES",
     "RACE_RULES",
     "race_rule_registry",
+    "UNIT_RULES",
+    "unit_rule_registry",
+    "ConservationError",
+    "ConservationLedger",
+    "conserve",
     "check_protocol",
     "render_text",
     "render_json",

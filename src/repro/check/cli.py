@@ -11,6 +11,7 @@ from .protocol import check_protocol
 from .races import race_rule_registry
 from .report import exit_code, render_json, render_text
 from .rules import rule_registry
+from .units import unit_rule_registry
 
 __all__ = ["add_check_arguments", "run_check_command", "main"]
 
@@ -32,8 +33,9 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--rules", default=None,
         help="comma-separated rule ids to run (default: all); "
-             f"known: {', '.join(sorted(rule_registry()))} and, under "
-             f"--races: {', '.join(sorted(race_rule_registry()))}")
+             f"known: {', '.join(sorted(rule_registry()))}; under "
+             f"--races: {', '.join(sorted(race_rule_registry()))}; under "
+             f"--units: {', '.join(sorted(unit_rule_registry()))}")
     parser.add_argument(
         "--no-protocol", action="store_true",
         help="skip the protocol state-machine checker")
@@ -44,8 +46,17 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
              "subpackages (" + ", ".join(RACE_SCAN_SUBDIRS) + ") unless "
              "--root is given")
     parser.add_argument(
+        "--units", action="store_true",
+        help="run the dimensional-analysis lints (unit-mismatch, "
+             "unit-bitbyte, unit-magic) instead of the determinism pass; "
+             "audits the given paths (or --root, or the installed package)")
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit")
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to audit (e.g. `repro check --units "
+             "src/`); overrides --root")
 
 
 def _selected_rules(spec: str | None, registry: dict):
@@ -63,10 +74,24 @@ def _selected_rules(spec: str | None, registry: dict):
     return chosen
 
 
-def _race_roots(root_arg: str | None) -> list[Path]:
+def _explicit_paths(args) -> list[Path] | None:
+    """Positional paths, validated; None when none were given."""
+    if not getattr(args, "paths", None):
+        return None
+    roots = [Path(piece) for piece in args.paths]
+    for root in roots:
+        if not root.exists():
+            raise SystemExit(f"no such path: {root}")
+    return roots
+
+
+def _race_roots(args) -> list[Path]:
     """The directories the ``--races`` pass walks."""
-    if root_arg is not None:
-        root = Path(root_arg)
+    explicit = _explicit_paths(args)
+    if explicit is not None:
+        return explicit
+    if args.root is not None:
+        root = Path(args.root)
         if not root.exists():
             raise SystemExit(f"no such path: {root}")
         return [root]
@@ -83,7 +108,39 @@ def _run_races(args) -> int:
     engine = LintEngine(rules=rules)
     findings = []
     checked = 0
-    for root in _race_roots(args.root):
+    for root in _race_roots(args):
+        findings.extend(engine.check_tree(root))
+        checked += sum(1 for _ in iter_python_files(root))
+    findings.sort(key=lambda f: (str(f.path), f.line, f.rule_id))
+    if args.json:
+        print(render_json(findings, checked_paths=checked))
+    else:
+        print(render_text(findings, checked_paths=checked))
+    return exit_code(findings)
+
+
+def _unit_roots(args) -> list[Path]:
+    """The paths the ``--units`` pass walks."""
+    explicit = _explicit_paths(args)
+    if explicit is not None:
+        return explicit
+    if args.root is not None:
+        root = Path(args.root)
+        if not root.exists():
+            raise SystemExit(f"no such path: {root}")
+        return [root]
+    return [Path(__file__).resolve().parent.parent]
+
+
+def _run_units(args) -> int:
+    registry = unit_rule_registry()
+    rules = _selected_rules(args.rules, registry)
+    if rules is None:
+        rules = [rule() for rule in registry.values()]
+    engine = LintEngine(rules=rules)
+    findings = []
+    checked = 0
+    for root in _unit_roots(args):
         findings.extend(engine.check_tree(root))
         checked += sum(1 for _ in iter_python_files(root))
     findings.sort(key=lambda f: (str(f.path), f.line, f.rule_id))
@@ -101,6 +158,8 @@ def run_check_command(args) -> int:
             print(f"{rule_id:<18} {rule.summary}")
         for rule_id, rule in sorted(race_rule_registry().items()):
             print(f"{rule_id:<18} {rule.summary} [--races]")
+        for rule_id, rule in sorted(unit_rule_registry().items()):
+            print(f"{rule_id:<18} {rule.summary} [--units]")
         print(f"{'protocol-spec':<18} spec vocabulary matches "
               "agent_protocol.py")
         print(f"{'protocol-machine':<18} state machines are sound "
@@ -114,7 +173,16 @@ def run_check_command(args) -> int:
     if args.races:
         return _run_races(args)
 
-    if args.root is None:
+    if args.units:
+        return _run_units(args)
+
+    explicit = _explicit_paths(args)
+    if explicit is not None:
+        root = explicit[0] if len(explicit) == 1 else None
+        if root is None:
+            raise SystemExit(
+                "the default pass audits one root; pass a single path")
+    elif args.root is None:
         root = Path(__file__).resolve().parent.parent
     else:
         root = Path(args.root)

@@ -2,7 +2,9 @@
 
 from .agent_protocol import (
     CONTROL_SIZE,
+    CONTROL_SIZE_BYTES,
     DATA_HEADER_SIZE,
+    DATA_HEADER_SIZE_BYTES,
     CloseReply,
     CloseRequest,
     DataPacket,
@@ -74,6 +76,7 @@ __all__ = [
     "WriteRequest", "WriteData", "WriteAck", "WriteNak",
     "CloseRequest", "CloseReply", "wire_size",
     "CONTROL_SIZE", "DATA_HEADER_SIZE",
+    "CONTROL_SIZE_BYTES", "DATA_HEADER_SIZE_BYTES",
     # errors
     "SwiftError", "AdmissionError", "ObjectNotFound", "ObjectExists",
     "AgentFailure", "TransferError", "DegradedModeError", "SessionClosed",

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 __all__ = [
+    "CONTROL_SIZE_BYTES",
+    "DATA_HEADER_SIZE_BYTES",
     "CONTROL_SIZE",
     "DATA_HEADER_SIZE",
     "OpenRequest",
@@ -47,9 +49,13 @@ __all__ = [
 ]
 
 #: Wire bytes of a control message (before UDP/IP headers).
-CONTROL_SIZE = 64
+CONTROL_SIZE_BYTES = 64
 #: Header bytes carried by each data-bearing packet.
-DATA_HEADER_SIZE = 32
+DATA_HEADER_SIZE_BYTES = 32
+
+#: Pre-suffix-convention aliases.
+CONTROL_SIZE = CONTROL_SIZE_BYTES
+DATA_HEADER_SIZE = DATA_HEADER_SIZE_BYTES
 
 
 @dataclass(frozen=True)
@@ -205,10 +211,11 @@ class CloseReply:
 def wire_size(message) -> int:
     """Bytes this message occupies on the wire (excluding UDP/IP headers)."""
     if isinstance(message, (DataPacket, WriteData)):
-        return DATA_HEADER_SIZE + len(message.payload)
+        return DATA_HEADER_SIZE_BYTES + len(message.payload)
     if isinstance(message, WriteNak):
         # 4 bytes per missing index on top of the control header.
-        return CONTROL_SIZE + 4 * len(message.missing)
+        return CONTROL_SIZE_BYTES + 4 * len(message.missing)
     if isinstance(message, ListReply):
-        return CONTROL_SIZE + sum(len(name) + 1 for name in message.names)
-    return CONTROL_SIZE
+        return CONTROL_SIZE_BYTES + sum(len(name) + 1
+                                        for name in message.names)
+    return CONTROL_SIZE_BYTES

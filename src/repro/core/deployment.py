@@ -29,7 +29,7 @@ INSTANT_DISK = DiskSpec(
     name="instant",
     avg_seek_s=0.0,
     avg_rotation_s=0.0,
-    transfer_rate=1e15,
+    transfer_rate_bytes_per_s=1e15,
     capacity_bytes=1 << 40,
 )
 

@@ -144,6 +144,23 @@ class DistributionAgent:
         self._size = 0
         self._opened = False
         self._closed = False
+        self._transfer_ops = itertools.count(1)
+
+    # -- conservation-ledger emitters ------------------------------------------------
+
+    def _new_op(self, direction: str) -> Optional[str]:
+        """A transfer id (``name#w3`` / ``name#r1``) when a ledger listens.
+
+        Emitting is gated on an attached transfer monitor, so the data
+        path pays one falsy test per call in normal runs.
+        """
+        if not self.env._transfer_monitors:
+            return None
+        return f"{self.object_name}#{direction}{next(self._transfer_ops)}"
+
+    def _emit(self, op: Optional[str], kind: str, **info) -> None:
+        if op is not None:
+            self.env._notify_transfer(kind, op=op, **info)
 
     # -- properties ---------------------------------------------------------------
 
@@ -248,6 +265,9 @@ class DistributionAgent:
             yield self.env.timeout(0.0)
             return b""
 
+        op = self._new_op("r")
+        self._emit(op, "read-begin", logical_offset=offset,
+                   logical_bytes=length)
         buffer = bytearray(length)
         degraded: list = []  # chunks on failed agents
         segments = self.layout.agent_segments(offset, length)
@@ -258,18 +278,19 @@ class DistributionAgent:
                 degraded.extend(chunks)
                 continue
             readers.append(self.env.process(
-                self._read_agent(channel, chunks, buffer, offset)))
+                self._read_agent(channel, chunks, buffer, offset, op)))
         if readers:
             yield self.env.all_of(readers)
             for process in readers:
                 failed_chunks = process.value
                 degraded.extend(failed_chunks)
         if degraded:
-            yield from self._read_degraded(degraded, buffer, offset)
+            yield from self._read_degraded(degraded, buffer, offset, op)
+        self._emit(op, "read-end")
         return bytes(buffer)
 
     def _read_agent(self, channel: _Channel, chunks, buffer: bytearray,
-                    base_offset: int):
+                    base_offset: int, op: Optional[str] = None):
         """One agent's reader: single outstanding request, resubmit on loss.
 
         Returns the chunks *not* retrieved (empty normally; the remainder
@@ -286,10 +307,21 @@ class DistributionAgent:
                     channel, piece_offset, span)
                 if payload is None:
                     channel.failed = True
+                    # The remainder of this chunk goes back to degraded
+                    # reading; report only the bytes actually placed.
+                    if position:
+                        done, rest = chunk.split(position)
+                        self._emit(op, "read-data", agent=channel.index,
+                                   logical_offset=done.logical_offset,
+                                   nbytes=done.length)
+                        return [rest] + pending[1:]
                     return pending
                 start = chunk.logical_offset - base_offset + position
                 buffer[start:start + len(payload)] = payload
                 position += span
+            self._emit(op, "read-data", agent=channel.index,
+                       logical_offset=chunk.logical_offset,
+                       nbytes=chunk.length)
             pending.pop(0)
         return []
 
@@ -325,7 +357,8 @@ class DistributionAgent:
 
     # -- degraded read ------------------------------------------------------------------
 
-    def _read_degraded(self, chunks, buffer: bytearray, base_offset: int):
+    def _read_degraded(self, chunks, buffer: bytearray, base_offset: int,
+                       op: Optional[str] = None):
         """Serve chunks of failed agents by XOR reconstruction."""
         if not self.parity:
             failed = sorted({self.data_channels[c.agent].agent_host
@@ -340,14 +373,18 @@ class DistributionAgent:
             unit = rebuilt.get(key)
             if unit is None:
                 unit = yield from self._reconstruct_unit(chunk.stripe,
-                                                         chunk.agent)
+                                                         chunk.agent, op)
                 rebuilt[key] = unit
             within = chunk.agent_offset % self.layout.striping_unit
             piece = unit[within:within + chunk.length]
             start = chunk.logical_offset - base_offset
             buffer[start:start + len(piece)] = piece
+            self._emit(op, "read-data", agent=chunk.agent,
+                       logical_offset=chunk.logical_offset,
+                       nbytes=len(piece))
 
-    def _reconstruct_unit(self, stripe: int, missing_agent: int):
+    def _reconstruct_unit(self, stripe: int, missing_agent: int,
+                          op: Optional[str] = None):
         """Fetch stripe siblings plus parity and XOR the lost unit back."""
         unit = self.layout.striping_unit
         unit_offset = self.layout.agent_unit_offset(stripe)
@@ -369,7 +406,14 @@ class DistributionAgent:
         if parity_payload is None:
             raise AgentFailure("parity agent failed during reconstruction")
         self.stats.reconstructed_units += 1
-        return reconstruct_unit(survivors, parity_payload, unit)
+        rebuilt = reconstruct_unit(survivors, parity_payload, unit)
+        if self.env._transfer_monitors:
+            # Emitted with op=None from rebuild paths too: the exact-size
+            # invariant holds regardless of the owning operation.
+            self.env._notify_transfer(
+                "reconstruct-unit", op=op, stripe=stripe,
+                agent=missing_agent, nbytes=len(rebuilt), unit_size=unit)
+        return rebuilt
 
     # -- write path --------------------------------------------------------------------
 
@@ -389,14 +433,19 @@ class DistributionAgent:
             return 0
         data = bytes(data)
 
+        op = self._new_op("w")
+        self._emit(op, "write-begin", logical_offset=offset,
+                   logical_bytes=len(data))
         if self.parity:
-            yield from self._write_with_parity(offset, data)
+            yield from self._write_with_parity(offset, data, op)
         else:
-            yield from self._write_plain(offset, data)
+            yield from self._write_plain(offset, data, op)
+        self._emit(op, "write-end")
         self._size = max(self._size, offset + len(data))
         return len(data)
 
-    def _write_plain(self, offset: int, data: bytes):
+    def _write_plain(self, offset: int, data: bytes,
+                     op: Optional[str] = None):
         writers = []
         for agent_index, chunks in self.layout.agent_segments(
                 offset, len(data)).items():
@@ -406,11 +455,14 @@ class DistributionAgent:
                     f"agent {channel.agent_host} failed and no redundancy "
                     "is configured")
             region_offset, payload = self._assemble_region(chunks, data, offset)
+            self._emit(op, "write-region", agent=channel.index,
+                       region_offset=region_offset, nbytes=len(payload))
             writers.append(self.env.process(
-                self._write_agent(channel, region_offset, payload)))
+                self._write_agent(channel, region_offset, payload, op)))
         yield self.env.all_of(writers)
 
-    def _write_with_parity(self, offset: int, data: bytes):
+    def _write_with_parity(self, offset: int, data: bytes,
+                           op: Optional[str] = None):
         layout = self.layout
         unit = layout.striping_unit
         first_stripe = layout.stripe_of(offset)
@@ -434,12 +486,18 @@ class DistributionAgent:
                 offset, len(data)).items():
             channel = self.data_channels[agent_index]
             if channel.failed:
-                continue  # parity will cover this agent's units
+                # Parity will cover this agent's units.
+                self._emit(op, "write-skip", agent=channel.index,
+                           nbytes=sum(chunk.length for chunk in chunks))
+                continue
             region_offset, payload = self._assemble_region(chunks, data, offset)
+            self._emit(op, "write-region", agent=channel.index,
+                       region_offset=region_offset, nbytes=len(payload))
             writers.append(self.env.process(
-                self._write_agent(channel, region_offset, payload)))
+                self._write_agent(channel, region_offset, payload, op)))
 
         # Parity units, one per touched stripe, computed from the images.
+        num_stripes = last_stripe - first_stripe + 1
         parity_units = []
         for stripe in range(first_stripe, last_stripe + 1):
             base = stripe * layout.stripe_width - span_start
@@ -452,8 +510,11 @@ class DistributionAgent:
             if self.failed_agents != [self.parity_channel.index]:
                 raise AgentFailure("cannot write: data and parity agents down")
         else:
+            self._emit(op, "write-parity", agent=self.parity_channel.index,
+                       nbytes=len(parity_payload),
+                       expected_bytes=num_stripes * unit)
             writers.append(self.env.process(self._write_agent(
-                self.parity_channel, parity_offset, parity_payload)))
+                self.parity_channel, parity_offset, parity_payload, op)))
         if writers:
             yield self.env.all_of(writers)
 
@@ -472,7 +533,7 @@ class DistributionAgent:
         return region_offset, b"".join(parts)
 
     def _write_agent(self, channel: _Channel, region_offset: int,
-                     payload: bytes):
+                     payload: bytes, op: Optional[str] = None):
         """§3.1 write: announce, stream, await ACK, retransmit NAKed."""
         op_id = channel.next_op()
         request = WriteRequest(
@@ -483,7 +544,7 @@ class DistributionAgent:
             payload_size=wire_size(request))
         self.stats.packets_sent += 1
         yield from self._stream_packets(channel, request, payload,
-                                        range(request.expected_packets))
+                                        range(request.expected_packets), op)
 
         for _ in range(self.max_retries):
             datagram = yield from channel.socket.recv_wait(
@@ -505,13 +566,13 @@ class DistributionAgent:
             self.stats.naks_received += 1
             self.stats.write_retransmits += len(message.missing)
             yield from self._stream_packets(channel, request, payload,
-                                            message.missing)
+                                            message.missing, op)
         channel.failed = True
         raise TransferError(
             f"agent {channel.agent_host} never acknowledged write op {op_id}")
 
     def _stream_packets(self, channel: _Channel, request: WriteRequest,
-                        payload: bytes, indices):
+                        payload: bytes, indices, op: Optional[str] = None):
         """Send the numbered packets 'as fast as it can' (§3.1), separated
         by the prototype's small wait loop when configured."""
         for index in indices:
@@ -520,6 +581,8 @@ class DistributionAgent:
             packet = WriteData(
                 handle=channel.handle, op_id=request.op_id, index=index,
                 offset=request.offset + start, payload=piece)
+            self._emit(op, "wire-data", agent=channel.index, index=index,
+                       payload_bytes=len(piece))
             yield from channel.socket.send(
                 channel.data_address, message=packet,
                 payload_size=wire_size(packet))

@@ -31,6 +31,10 @@ __all__ = ["AgentDescriptor", "StorageMediator", "MIN_STRIPING_UNIT",
 MIN_STRIPING_UNIT = 4 * 1024
 MAX_STRIPING_UNIT = 64 * 1024
 
+#: The striping-unit policy sizes a unit at ~1/8 of each agent's
+#: per-second share, keeping roughly this many units in flight per agent.
+PIPELINE_DEPTH = 8
+
 
 @dataclass
 class AgentDescriptor:
@@ -122,9 +126,10 @@ class StorageMediator:
         if data_rate <= 0:
             return MAX_STRIPING_UNIT
         # Bytes each agent must move per second; a unit of ~1/8 of that
-        # keeps the pipeline deep without making packets tiny.
+        # keeps the pipeline deep without making packets tiny.  (The 8 is
+        # a pipeline-depth target, not a bit-byte factor.)
         per_agent = data_rate / num_agents
-        unit = _floor_power_of_two(int(per_agent / 8))
+        unit = _floor_power_of_two(int(per_agent / PIPELINE_DEPTH))
         return max(MIN_STRIPING_UNIT, min(MAX_STRIPING_UNIT, unit))
 
     def _select_agents(self, data_rate: float, parity: bool) -> list[str]:

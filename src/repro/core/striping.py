@@ -40,6 +40,21 @@ class Chunk:
                self.stripe) < 0:
             raise ValueError("chunk coordinates must be non-negative")
 
+    def split(self, at: int) -> tuple["Chunk", "Chunk"]:
+        """Cut into ``(head, tail)`` at ``at`` bytes from the start.
+
+        A chunk never crosses a unit boundary, so both halves stay on the
+        same agent and stripe.  Used when an agent dies mid-chunk: the
+        retrieved head is accounted, the tail goes to degraded reading.
+        """
+        if not 0 < at < self.length:
+            raise ValueError(f"split point {at} outside (0, {self.length})")
+        head = Chunk(self.agent, self.agent_offset, self.logical_offset,
+                     at, self.stripe)
+        tail = Chunk(self.agent, self.agent_offset + at,
+                     self.logical_offset + at, self.length - at, self.stripe)
+        return head, tail
+
 
 class StripeLayout:
     """Round-robin striping of a byte space over ``num_agents`` agents."""

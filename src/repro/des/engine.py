@@ -80,6 +80,7 @@ class Environment:
         self._resource_monitors: list = []
         self._schedule_monitors: list = []
         self._access_monitors: list = []
+        self._transfer_monitors: list = []
 
     # -- clock ----------------------------------------------------------------
 
@@ -163,6 +164,27 @@ class Environment:
     def _notify_access(self, obj, label: str, is_write: bool) -> None:
         for callback in self._access_monitors:
             callback(obj, label, is_write)
+
+    def add_transfer_monitor(self, callback) -> None:
+        """Call ``callback(kind, **info)`` on every data-path accounting
+        event an instrumented component emits (striped write/read begin
+        and end, per-agent regions, wire payloads, parity reconstruction).
+        The conservation ledger (:mod:`repro.check.conserve`) attaches
+        here; emitters guard on ``env._transfer_monitors`` so the data
+        path pays one falsy test when no ledger is installed.
+        """
+        self._transfer_monitors.append(callback)
+
+    def remove_transfer_monitor(self, callback) -> None:
+        """Detach a transfer monitor (no-op if absent)."""
+        try:
+            self._transfer_monitors.remove(callback)
+        except ValueError:
+            pass
+
+    def _notify_transfer(self, kind: str, **info) -> None:
+        for callback in self._transfer_monitors:
+            callback(kind, **info)
 
     # -- event factories --------------------------------------------------------
 

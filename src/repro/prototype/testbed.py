@@ -119,7 +119,8 @@ class PrototypeTestbed:
                 name=spec.name,
                 avg_seek_s=spec.avg_seek_s / self._disk_scale,
                 avg_rotation_s=spec.avg_rotation_s / self._disk_scale,
-                transfer_rate=spec.transfer_rate * self._disk_scale,
+                transfer_rate_bytes_per_s=(
+                    spec.transfer_rate_bytes_per_s * self._disk_scale),
                 capacity_bytes=spec.capacity_bytes)
         self.agents[name] = StorageAgent(
             self.env, host, filesystem, prefetch=prefetch,

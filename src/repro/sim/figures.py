@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..simdisk import DISK_CATALOG, FIGURE_5_6_DISKS
+from ..units import s_to_ms
 from .model import SimResult
 from .sweep import find_max_sustainable, load_sweep
 from .workload import SimConfig
@@ -63,7 +64,7 @@ def _response_time_series(base: SimConfig, series_name: str,
         points.append(FigurePoint(
             series=series_name,
             x=result.config.arrival_rate,
-            y=result.mean_completion_s * 1000.0,  # the figures plot ms
+            y=s_to_ms(result.mean_completion_s),  # the figures plot ms
             result=result,
         ))
     return points

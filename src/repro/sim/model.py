@@ -30,7 +30,10 @@ from .workload import SimConfig
 __all__ = ["SwiftSimModel", "SimResult"]
 
 #: Wire size of a request / acknowledgement packet.
-CONTROL_PACKET_SIZE = 64
+CONTROL_PACKET_SIZE_BYTES = 64
+
+#: Pre-suffix-convention alias.
+CONTROL_PACKET_SIZE = CONTROL_PACKET_SIZE_BYTES
 
 
 @dataclass(frozen=True)

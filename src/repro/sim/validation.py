@@ -15,7 +15,8 @@ tests compare simulation output against:
 
 from __future__ import annotations
 
-from .model import CONTROL_PACKET_SIZE
+from ..units import seconds_to_send, to_bits_per_s, us
+from .model import CONTROL_PACKET_SIZE_BYTES
 from .workload import SimConfig
 
 __all__ = [
@@ -82,7 +83,7 @@ def expected_max_positioning_s(config: SimConfig, n: int) -> float:
 def _ring_time_s(config: SimConfig, size: int) -> float:
     """Token wait plus serialisation (mirrors TokenRing.transmission_time
     with the default 20 microsecond rotation)."""
-    return 10e-6 + size * 8.0 / config.ring_bits_per_second
+    return us(10.0) + seconds_to_send(size, config.ring_bits_per_second)
 
 
 def zero_load_read_response_s(config: SimConfig) -> float:
@@ -96,9 +97,9 @@ def zero_load_read_response_s(config: SimConfig) -> float:
     busiest = max(shares)
     active = sum(1 for share in shares if share)
     unit = config.transfer_unit
-    request_path = (_packet_cpu_s(config, CONTROL_PACKET_SIZE)
-                    + _ring_time_s(config, CONTROL_PACKET_SIZE)
-                    + _packet_cpu_s(config, CONTROL_PACKET_SIZE))
+    request_path = (_packet_cpu_s(config, CONTROL_PACKET_SIZE_BYTES)
+                    + _ring_time_s(config, CONTROL_PACKET_SIZE_BYTES)
+                    + _packet_cpu_s(config, CONTROL_PACKET_SIZE_BYTES))
     # The request completes when its *slowest* agent chain finishes: the
     # chain mean is busiest x mean service, and the agent-to-agent spread
     # is dominated by one positioning draw's order statistics.
@@ -126,4 +127,4 @@ def disk_utilization_estimate(config: SimConfig) -> float:
 def offered_load_fraction(config: SimConfig) -> float:
     """Offered ring load as a fraction of its capacity."""
     bytes_per_second = config.arrival_rate * config.request_size
-    return bytes_per_second * 8.0 / config.ring_bits_per_second
+    return to_bits_per_s(bytes_per_second) / config.ring_bits_per_second

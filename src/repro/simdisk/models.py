@@ -14,10 +14,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..units import KIB, MIB, mb_per_s, ms
+
 __all__ = ["DiskSpec", "DISK_CATALOG", "FIGURE_5_6_DISKS"]
 
-MEGABYTE = 1 << 20
-KILOBYTE = 1 << 10
+MEGABYTE = MIB
+KILOBYTE = KIB
 
 
 @dataclass(frozen=True)
@@ -31,22 +33,27 @@ class DiskSpec:
     name: str
     avg_seek_s: float
     avg_rotation_s: float
-    transfer_rate: float  # bytes/second off the media
+    transfer_rate_bytes_per_s: float  # off the media
     capacity_bytes: int = 500 * MEGABYTE
 
     def __post_init__(self):
         if self.avg_seek_s < 0 or self.avg_rotation_s < 0:
             raise ValueError("seek/rotation averages must be non-negative")
-        if self.transfer_rate <= 0:
+        if self.transfer_rate_bytes_per_s <= 0:
             raise ValueError("transfer rate must be positive")
         if self.capacity_bytes <= 0:
             raise ValueError("capacity must be positive")
+
+    @property
+    def transfer_rate(self) -> float:
+        """Bytes/second off the media (alias for the suffixed field)."""
+        return self.transfer_rate_bytes_per_s
 
     def transfer_time(self, nbytes: int) -> float:
         """Media transfer time for ``nbytes`` (no positioning)."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        return nbytes / self.transfer_rate
+        return nbytes / self.transfer_rate_bytes_per_s
 
     def mean_access_time(self, nbytes: int) -> float:
         """Expected positioned access time for one ``nbytes`` block.
@@ -60,9 +67,9 @@ def _spec(name: str, seek_ms: float, rotation_ms: float, rate_mb_s: float,
           capacity_mb: int = 500) -> DiskSpec:
     return DiskSpec(
         name=name,
-        avg_seek_s=seek_ms / 1000.0,
-        avg_rotation_s=rotation_ms / 1000.0,
-        transfer_rate=rate_mb_s * 1_000_000.0,
+        avg_seek_s=ms(seek_ms),
+        avg_rotation_s=ms(rotation_ms),
+        transfer_rate_bytes_per_s=mb_per_s(rate_mb_s),
         capacity_bytes=capacity_mb * MEGABYTE,
     )
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..des import Environment, RandomStream, Resource, UtilizationMonitor
+from ..units import MB
 from .models import DISK_CATALOG, DiskSpec
 
 __all__ = ["RaidArray"]
@@ -43,7 +44,7 @@ class RaidArray:
         self.env = env
         self.member_spec = member_spec or DISK_CATALOG["Fujitsu M2372K"]
         self.num_members = num_members
-        self.controller_rate = controller_rate
+        self.controller_rate_bytes_per_s = controller_rate
         self.controller_overhead_s = controller_overhead_s
         self.stream = stream
         #: The controller is the shared resource; member parallelism is
@@ -73,10 +74,11 @@ class RaidArray:
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         member_chunk = nbytes / self.num_members
-        member_time = (self.draw_positioning_time()
-                       + member_chunk / self.member_spec.transfer_rate)
+        member_time = (
+            self.draw_positioning_time()
+            + member_chunk / self.member_spec.transfer_rate_bytes_per_s)
         controller_time = (self.controller_overhead_s
-                           + nbytes / self.controller_rate)
+                           + nbytes / self.controller_rate_bytes_per_s)
         return max(member_time, controller_time)
 
     def access(self, nbytes: int, blocks: int = 1, sequential: bool = False,
@@ -99,9 +101,9 @@ class RaidArray:
                     else:
                         service = max(
                             nbytes / self.num_members
-                            / self.member_spec.transfer_rate,
+                            / self.member_spec.transfer_rate_bytes_per_s,
                             self.controller_overhead_s
-                            + nbytes / self.controller_rate)
+                            + nbytes / self.controller_rate_bytes_per_s)
                     yield self.env.timeout(service)
                     self.blocks_served += 1
                     self.bytes_served += nbytes
@@ -115,10 +117,16 @@ class RaidArray:
         return self.monitor.utilization()
 
     @property
+    def controller_rate(self) -> float:
+        """Bytes/second through the controller (suffixed-field alias)."""
+        return self.controller_rate_bytes_per_s
+
+    @property
     def queue_length(self) -> int:
         """Requests waiting at the controller."""
         return self.resource.queue_length
 
     def __repr__(self) -> str:
+        rate_mb_s = self.controller_rate_bytes_per_s / MB
         return (f"<RaidArray {self.num_members}x{self.member_spec.name} "
-                f"controller={self.controller_rate / 1e6:.1f}MB/s>")
+                f"controller={rate_mb_s:.1f}MB/s>")

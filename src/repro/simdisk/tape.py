@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..des import Environment, RandomStream, Resource, UtilizationMonitor
+from ..units import kb_per_s
 
 __all__ = ["TapeSpec", "DAT_DDS1", "TapeDrive"]
 
@@ -25,17 +26,22 @@ class TapeSpec:
     """Streaming-device parameters."""
 
     name: str
-    avg_position_s: float      # locate/shuttle to a target block
-    transfer_rate: float       # bytes/second while streaming
+    avg_position_s: float               # locate/shuttle to a target block
+    transfer_rate_bytes_per_s: float    # while streaming
     capacity_bytes: int
 
     def __post_init__(self):
         if self.avg_position_s < 0:
             raise ValueError("positioning time must be non-negative")
-        if self.transfer_rate <= 0:
+        if self.transfer_rate_bytes_per_s <= 0:
             raise ValueError("transfer rate must be positive")
         if self.capacity_bytes <= 0:
             raise ValueError("capacity must be positive")
+
+    @property
+    def transfer_rate(self) -> float:
+        """Bytes/second while streaming (alias for the suffixed field)."""
+        return self.transfer_rate_bytes_per_s
 
 
 #: The 1991-era DDS-1 digital audio tape: ~183 KB/s streaming, ~20 s
@@ -43,7 +49,7 @@ class TapeSpec:
 DAT_DDS1 = TapeSpec(
     name="DAT DDS-1",
     avg_position_s=20.0,
-    transfer_rate=183_000.0,
+    transfer_rate_bytes_per_s=kb_per_s(183.0),
     capacity_bytes=1_300_000_000,
 )
 
@@ -86,7 +92,8 @@ class TapeDrive:
             try:
                 if self._position != offset:
                     yield self.env.timeout(self.draw_position_time())
-                yield self.env.timeout(nbytes / self.spec.transfer_rate)
+                yield self.env.timeout(
+                    nbytes / self.spec.transfer_rate_bytes_per_s)
                 self._position = offset + nbytes
                 self.bytes_served += nbytes
             finally:

@@ -17,6 +17,7 @@ from __future__ import annotations
 import math
 
 from ..des import Environment, RandomStream
+from ..units import seconds_to_send, to_bytes_per_s
 from .medium import Medium
 
 __all__ = ["Ethernet", "BackgroundLoad", "ETHERNET_MTU_PAYLOAD"]
@@ -76,7 +77,7 @@ class Ethernet(Medium):
         return slots * SLOT_TIME_S
 
     def nominal_capacity(self) -> float:
-        return self.bits_per_second / 8.0
+        return to_bytes_per_s(self.bits_per_second)
 
     def transmission_time(self, size: int) -> float:
         """Cable time for one datagram, including fragmentation overhead."""
@@ -84,7 +85,7 @@ class Ethernet(Medium):
             raise ValueError("size must be positive")
         fragments = max(1, math.ceil(size / ETHERNET_MTU_PAYLOAD))
         wire_bytes = size + fragments * _FRAME_OVERHEAD_BYTES
-        return wire_bytes * 8.0 / self.bits_per_second \
+        return seconds_to_send(wire_bytes, self.bits_per_second) \
             + fragments * _INTERFRAME_GAP_S
 
     def goodput_upper_bound(self, datagram_size: int) -> float:

@@ -14,6 +14,7 @@ for the shared ring.
 from __future__ import annotations
 
 from ..des import Environment, RandomStream
+from ..units import seconds_to_send, to_bytes_per_s
 from .medium import Medium
 
 __all__ = ["TokenRing"]
@@ -36,10 +37,10 @@ class TokenRing(Medium):
         self.token_rotation_s = token_rotation_s
 
     def nominal_capacity(self) -> float:
-        return self.bits_per_second / 8.0
+        return to_bytes_per_s(self.bits_per_second)
 
     def transmission_time(self, size: int) -> float:
         if size <= 0:
             raise ValueError("size must be positive")
         token_wait = self.token_rotation_s / 2.0
-        return token_wait + size * 8.0 / self.bits_per_second
+        return token_wait + seconds_to_send(size, self.bits_per_second)

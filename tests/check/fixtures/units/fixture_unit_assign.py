@@ -1,0 +1,10 @@
+"""Seeded bug: stores a bit rate into a name declared bytes-per-second.
+
+The Mb/s-into-MB/s class of bug (an 8x data-rate error).  Exactly one
+``unit-mismatch`` finding fires here.
+"""
+
+
+def link_capacity(ring_bits_per_s):
+    link_bytes_per_s = ring_bits_per_s
+    return link_bytes_per_s

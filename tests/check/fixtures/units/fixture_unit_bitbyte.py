@@ -1,0 +1,8 @@
+"""Seeded bug: inline * 8 bit-byte conversion on a byte quantity.
+
+Exactly one ``unit-bitbyte`` finding fires here.
+"""
+
+
+def frame_bit_count(frame_bytes):
+    return frame_bytes * 8

@@ -1,0 +1,25 @@
+"""Unit-clean twin: the same computations through repro.units.
+
+Zero findings fire here — every conversion goes through a named
+converter, so the fixtures above prove the *bug*, not the idiom, is
+what the analyzer flags.
+"""
+
+from repro.units import ms, s_to_ms, seconds_to_send, to_bytes_per_s
+
+
+def total_cost_s(latency_s, payload_bytes, link_bits_per_s):
+    return latency_s + seconds_to_send(payload_bytes, link_bits_per_s)
+
+
+def link_capacity(ring_bits_per_s):
+    link_bytes_per_s = to_bytes_per_s(ring_bits_per_s)
+    return link_bytes_per_s
+
+
+def wait_for_ack(env, ack_delay_ms):
+    yield env.timeout(ms(ack_delay_ms))
+
+
+def report_millis(elapsed_s):
+    return s_to_ms(elapsed_s)

@@ -1,0 +1,8 @@
+"""Seeded bug: magic 1000 scale factor on a seconds quantity.
+
+Exactly one ``unit-magic`` finding fires here.
+"""
+
+
+def report_millis(elapsed_s):
+    return elapsed_s * 1000.0

@@ -1,0 +1,8 @@
+"""Seeded bug: adds a latency (seconds) to a payload size (bytes).
+
+Exactly one ``unit-mismatch`` finding fires here.
+"""
+
+
+def total_cost(latency_s, payload_bytes):
+    return latency_s + payload_bytes

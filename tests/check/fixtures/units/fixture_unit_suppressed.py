@@ -1,0 +1,14 @@
+"""The ``# repro: allow[units]`` escape hatch silences the whole pass.
+
+Zero findings fire here: the group comment covers all three unit rules
+on its line.
+"""
+
+
+def deliberately_mixed(latency_s, payload_bytes):
+    return latency_s + payload_bytes  # repro: allow[units]
+
+
+def deliberate_bit_count(frame_bytes):
+    # repro: allow[unit-bitbyte]
+    return frame_bytes * 8

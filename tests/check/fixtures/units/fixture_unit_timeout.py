@@ -1,0 +1,9 @@
+"""Seeded bug: yields a millisecond quantity to env.timeout().
+
+Simulated delays are seconds; exactly one ``unit-mismatch`` finding
+fires here.
+"""
+
+
+def wait_for_ack(env, ack_delay_ms):
+    yield env.timeout(ack_delay_ms)

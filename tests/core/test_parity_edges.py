@@ -1,0 +1,131 @@
+"""Parity edge cases: uneven final stripes, empty units, exact byte counts.
+
+These pin the places a one-byte error would hide: the zero-padded tail of
+an uneven final stripe, the degenerate zero-length unit, and the ledger's
+exact-size accounting over a live parity deployment.
+"""
+
+import pytest
+
+from repro.check import conserve
+from repro.core import (
+    build_local_swift,
+    compute_parity,
+    reconstruct_unit,
+    update_parity,
+)
+from repro.core.striping import Chunk
+
+UNIT = 4096
+
+
+# -- pure parity arithmetic ---------------------------------------------------
+
+
+def test_uneven_final_stripe_parity_is_exactly_one_unit():
+    # Final stripe holds 100, 7 and 0 bytes on the three data agents;
+    # parity must still be exactly unit_size bytes.
+    units = [b"\xaa" * 100, b"\x55" * 7, b""]
+    parity = compute_parity(units, UNIT)
+    assert len(parity) == UNIT
+    # Units overlap at their start; past every unit's end XOR is zero.
+    assert parity == (b"\xff" * 7 + b"\xaa" * 93 + b"\x00" * (UNIT - 100))
+
+
+def test_uneven_final_stripe_reconstructs_padded_units():
+    units = [b"\xaa" * 100, b"\x55" * 7, b""]
+    parity = compute_parity(units, UNIT)
+    for missing in range(3):
+        survivors = [u for i, u in enumerate(units) if i != missing]
+        rebuilt = reconstruct_unit(survivors, parity, UNIT)
+        assert len(rebuilt) == UNIT
+        assert rebuilt == units[missing].ljust(UNIT, b"\x00")
+
+
+def test_zero_length_unit_contributes_nothing():
+    with_empty = compute_parity([b"abc", b"", b"xyz"], 8)
+    without = compute_parity([b"abc", b"xyz"], 8)
+    assert with_empty == without
+    assert len(with_empty) == 8
+
+
+def test_update_parity_round_trip_restores_original():
+    units = [b"abcd", b"efgh", b"ijkl"]
+    parity = compute_parity(units, 4)
+    changed = update_parity(units[1], b"WXYZ", parity, 4)
+    restored = update_parity(b"WXYZ", units[1], changed, 4)
+    assert restored == parity
+
+
+def test_update_parity_with_short_and_empty_units():
+    units = [b"abcd", b"ef", b"i"]
+    parity = compute_parity(units, 4)
+    # Shrink unit 1 to nothing, then grow it back: parity follows exactly.
+    emptied = update_parity(units[1], b"", parity, 4)
+    assert emptied == compute_parity([units[0], b"", units[2]], 4)
+    regrown = update_parity(b"", b"efgh", emptied, 4)
+    assert regrown == compute_parity([units[0], b"efgh", units[2]], 4)
+    assert len(regrown) == 4
+
+
+# -- Chunk.split --------------------------------------------------------------
+
+
+def test_chunk_split_partitions_exactly():
+    chunk = Chunk(agent=2, agent_offset=100, logical_offset=900,
+                  length=50, stripe=3)
+    head, tail = chunk.split(20)
+    assert (head.length, tail.length) == (20, 30)
+    assert head.logical_offset == 900 and tail.logical_offset == 920
+    assert head.agent_offset == 100 and tail.agent_offset == 120
+    assert head.agent == tail.agent == 2
+    assert head.stripe == tail.stripe == 3
+
+
+def test_chunk_split_rejects_degenerate_points():
+    chunk = Chunk(agent=0, agent_offset=0, logical_offset=0,
+                  length=10, stripe=0)
+    for at in (0, 10, -1, 11):
+        with pytest.raises(ValueError):
+            chunk.split(at)
+
+
+# -- live deployment: exact byte counts on uneven stripes ---------------------
+
+
+def _parity_deployment():
+    deployment = build_local_swift(num_agents=4, parity=True)
+    client = deployment.client()
+    handle = client.open("obj", "w", parity=True, striping_unit=UNIT)
+    return deployment, handle
+
+
+def test_uneven_final_stripe_write_has_exact_ledger_counts():
+    deployment, handle = _parity_deployment()
+    # 2.5 stripes of data: the final stripe is half-covered.
+    nbytes = 2 * 3 * UNIT + 3 * UNIT // 2
+    with conserve(deployment.env) as ledger:
+        handle.pwrite(0, b"q" * nbytes)
+    write_ops = [op for op in ledger.ops.values() if op.kind == "write"]
+    assert len(write_ops) == 1
+    record = write_ops[0]
+    assert record.logical_bytes == nbytes
+    data_bytes = sum(n for offset, n in record.regions.values()
+                     if offset is not None)
+    assert data_bytes == nbytes
+    parity_bytes, expected = record.parity
+    assert parity_bytes == expected == 3 * UNIT  # 3 stripes x one unit
+
+
+def test_degraded_read_of_uneven_tail_is_exact():
+    deployment, handle = _parity_deployment()
+    engine = handle.engine
+    nbytes = 2 * 3 * UNIT + 100  # 100-byte tail unit on agent 0
+    payload = bytes(range(256)) * (nbytes // 256 + 1)
+    handle.pwrite(0, payload[:nbytes])
+    deployment.crash_agent(engine.data_channels[0].agent_host)
+    engine.mark_failed(0)
+    engine.read_timeout_s = 0.01
+    with conserve(deployment.env) as ledger:
+        assert handle.pread(0, nbytes) == payload[:nbytes]
+    assert ledger.errors == []
