@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test lint bench bench-full tables figures examples clean
+.PHONY: install test lint bench bench-full bench-smoke tables figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -26,6 +26,13 @@ bench:
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# CI perf gate: kernel events/sec + a 2-worker mini-sweep, then fail on a
+# >20% kernel throughput regression vs benchmarks/baselines/.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_kernel_events.py --benchmark-only
+	REPRO_BENCH_WORKERS=2 $(PYTHON) -m pytest benchmarks/bench_sweep_parallel.py --benchmark-only
+	$(PYTHON) benchmarks/check_regression.py
 
 tables:
 	$(PYTHON) -m repro table1

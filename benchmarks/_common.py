@@ -19,6 +19,23 @@ RESULTS_DIR = Path(__file__).parent / "results"
 FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
 
 
+def bench_workers(default: int = 4) -> int:
+    """Worker-process count for parallel benchmarks.
+
+    ``REPRO_BENCH_WORKERS`` overrides; the default is ``default`` workers
+    regardless of core count so the archived numbers are comparable
+    across machines (the JSON records ``cpu_count`` next to the timing,
+    which is how to judge whether a speedup was physically possible).
+    """
+    value = os.environ.get("REPRO_BENCH_WORKERS", "")
+    if value:
+        workers = int(value)
+        if workers < 1:
+            raise ValueError("REPRO_BENCH_WORKERS must be >= 1")
+        return workers
+    return default
+
+
 def scaled(full_value, quick_value):
     """Pick the full-fidelity or the quick value."""
     return full_value if FULL else quick_value

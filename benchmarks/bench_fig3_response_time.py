@@ -6,7 +6,7 @@ saturate quickly; 32 disks sustain ~22 requests/second; response is
 almost flat until the knee.
 """
 
-from _common import archive, format_series, scaled
+from _common import archive, bench_workers, format_series, scaled
 
 from repro.sim import figure3_series
 
@@ -22,7 +22,8 @@ def bench_fig3_response_time(benchmark):
     points = benchmark.pedantic(
         lambda: figure3_series(rates=rates, disk_counts=disk_counts,
                                block_sizes=block_sizes,
-                               num_requests=num_requests),
+                               num_requests=num_requests,
+                               workers=bench_workers(1)),
         rounds=1, iterations=1)
 
     archive("fig3_response_time", format_series(

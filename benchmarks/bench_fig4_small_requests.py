@@ -5,7 +5,7 @@ the sustainable request rate almost linearly, and single-disk systems
 saturate almost immediately.
 """
 
-from _common import archive, format_series, scaled
+from _common import archive, bench_workers, format_series, scaled
 
 from repro.sim import figure4_series
 
@@ -17,7 +17,8 @@ def bench_fig4_small_requests(benchmark):
 
     points = benchmark.pedantic(
         lambda: figure4_series(rates=rates, disk_counts=disk_counts,
-                               num_requests=num_requests),
+                               num_requests=num_requests,
+                               workers=bench_workers(1)),
         rounds=1, iterations=1)
 
     archive("fig4_small_requests", format_series(

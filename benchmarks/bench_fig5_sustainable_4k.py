@@ -5,7 +5,7 @@ out around 2 MB/s, and faster-positioning drives (IBM 3380K) lead slower
 ones (DEC RA82) at every disk count.
 """
 
-from _common import archive, format_series, scaled
+from _common import archive, bench_workers, format_series, scaled
 
 from repro.sim import figure5_series
 
@@ -23,7 +23,8 @@ def bench_fig5_sustainable_4k(benchmark):
         lambda: figure5_series(disk_counts=disk_counts,
                                disk_names=disk_names,
                                num_requests=num_requests,
-                               iterations=iterations),
+                               iterations=iterations,
+                               workers=bench_workers(1)),
         rounds=1, iterations=1)
 
     archive("fig5_sustainable_4k", format_series(

@@ -5,7 +5,7 @@ almost linear in the size of the transfer unit" (≈6x over Figure 5's 4 KB
 units for the same disks).
 """
 
-from _common import archive, format_series, scaled
+from _common import archive, bench_workers, format_series, scaled
 
 from repro.sim import figure5_series, figure6_series
 
@@ -23,7 +23,8 @@ def bench_fig6_sustainable_32k(benchmark):
         lambda: figure6_series(disk_counts=disk_counts,
                                disk_names=disk_names,
                                num_requests=num_requests,
-                               iterations=iterations),
+                               iterations=iterations,
+                               workers=bench_workers(1)),
         rounds=1, iterations=1)
 
     archive("fig6_sustainable_32k", format_series(

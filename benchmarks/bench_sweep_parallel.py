@@ -1,0 +1,99 @@
+"""Benchmark: parallel sweep runner and result cache vs. the serial loop.
+
+Not a paper result — this guards the sweep infrastructure the figure
+benchmarks run on.  Three measurements over the same Figure 3-shaped
+load-sweep grid:
+
+* **serial** — the plain one-process ``load_sweep`` loop;
+* **parallel** — the same grid fanned out over worker processes
+  (``REPRO_BENCH_WORKERS``, default 4), asserted bit-identical to the
+  serial results;
+* **cached** — the same grid resolved entirely from a warm
+  :class:`~repro.sim.ResultCache`.
+
+The archived ``BENCH_sweep_parallel.json`` records ``cpu_count`` next to
+the wall-clock numbers: on a single-core container the parallel speedup
+is bounded by 1.0x (plus pool overhead), and the honest figure of merit
+there is the cached rebuild, which replaces simulation with JSON loads.
+"""
+
+import multiprocessing
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from _common import archive_json, bench_workers, scaled
+
+from repro.sim import ResultCache, SimConfig, load_sweep
+
+KB = 1 << 10
+
+
+def _grid():
+    """A reduced Figure 3 cell: one base config by a rate grid."""
+    rates = scaled((1.0, 2.5, 5.0, 7.5, 10.0, 15.0), (2.0, 6.0, 12.0, 20.0))
+    base = SimConfig(
+        num_disks=scaled(8, 4),
+        transfer_unit=32 * KB,
+        request_size=1 << 20,
+        num_requests=scaled(400, 120),
+        warmup_requests=scaled(40, 12),
+        seed=0,
+    )
+    return base, rates
+
+
+def bench_sweep_parallel(benchmark):
+    base, rates = _grid()
+    workers = bench_workers()
+
+    start = time.perf_counter()
+    serial = load_sweep(base, rates)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = load_sweep(base, rates, workers=workers)
+    parallel_s = time.perf_counter() - start
+
+    # The contract everything rests on: fan-out changes wall-clock only.
+    assert parallel == serial, "parallel sweep diverged from serial results"
+
+    cache_dir = Path(tempfile.mkdtemp(prefix="repro-bench-cache-"))
+    try:
+        cache = ResultCache(cache_dir)
+        load_sweep(base, rates, workers=workers, cache=cache)  # warm it
+        assert cache.misses == len(rates) and cache.hits == 0
+
+        start = time.perf_counter()
+        cached = load_sweep(base, rates, cache=cache)
+        cached_s = time.perf_counter() - start
+        assert cached == serial, "cached sweep diverged from serial results"
+        assert cache.hits == len(rates), "warm cache still missed"
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    # pytest-benchmark wants a measured callable; use the cheap cached
+    # path so `make bench` totals stay dominated by the real measurements
+    # above.
+    benchmark.pedantic(lambda: load_sweep(base, rates[:1]),
+                       rounds=1, iterations=1)
+
+    payload = {
+        "grid": f"{len(rates)} arrival rates x "
+                f"{base.num_requests} requests, {base.num_disks} disks",
+        "cpu_count": multiprocessing.cpu_count(),
+        "workers": workers,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "parallel_speedup": serial_s / parallel_s,
+        "cached_s": cached_s,
+        "cached_speedup": serial_s / cached_s,
+        "bit_identical": True,  # asserted above; recorded for the archive
+    }
+    path = archive_json("BENCH_sweep_parallel", payload)
+    print(f"\nsweep: serial {serial_s:.2f}s, "
+          f"parallel({workers}w/{payload['cpu_count']}cpu) {parallel_s:.2f}s "
+          f"(x{payload['parallel_speedup']:.2f}), "
+          f"cached {cached_s:.3f}s (x{payload['cached_speedup']:.1f}) "
+          f"-> {path}")

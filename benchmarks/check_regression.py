@@ -1,0 +1,74 @@
+"""Kernel-throughput regression gate for CI.
+
+Compares the freshly archived ``benchmarks/results/BENCH_kernel_events.json``
+against the committed reference in ``benchmarks/baselines/`` and exits
+nonzero if events/second dropped by more than the threshold (default
+20 % — far outside shared-runner noise, well inside any accidental
+de-optimisation of the kernel fast paths; see docs/PERFORMANCE.md).
+
+Faster-than-baseline results pass silently: the gate is one-sided, and
+re-baselining is a deliberate act (copy the fresh JSON into
+``benchmarks/baselines/`` in the same commit as the speedup).
+
+Usage::
+
+    python benchmarks/check_regression.py [--threshold 0.20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+BASELINE = BENCH_DIR / "baselines" / "BENCH_kernel_events.json"
+FRESH = BENCH_DIR / "results" / "BENCH_kernel_events.json"
+
+#: Metrics gated, with direction: events/sec must not drop.
+GATED_METRIC = "events_per_sec"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="maximum tolerated fractional drop "
+                             "(default 0.20 = 20%%)")
+    parser.add_argument("--baseline", type=Path, default=BASELINE)
+    parser.add_argument("--fresh", type=Path, default=FRESH)
+    options = parser.parse_args(argv)
+
+    if not options.baseline.exists():
+        print(f"regression gate: no baseline at {options.baseline}; "
+              "nothing to compare (commit one to enable the gate)")
+        return 0
+    if not options.fresh.exists():
+        print(f"regression gate: {options.fresh} missing — run "
+              "`pytest benchmarks/bench_kernel_events.py --benchmark-only` "
+              "first", file=sys.stderr)
+        return 2
+
+    baseline = json.loads(options.baseline.read_text())
+    fresh = json.loads(options.fresh.read_text())
+    reference = baseline[GATED_METRIC]
+    measured = fresh[GATED_METRIC]
+    ratio = measured / reference
+    floor = 1.0 - options.threshold
+
+    print(f"regression gate: {GATED_METRIC} baseline {reference:,.0f}, "
+          f"measured {measured:,.0f} ({ratio:.2f}x of baseline, "
+          f"floor {floor:.2f}x)")
+    if ratio < floor:
+        print(f"regression gate: FAIL — kernel throughput dropped "
+              f"{(1.0 - ratio) * 100.0:.1f}% (> {options.threshold * 100:.0f}% "
+              "allowed).  If the slowdown is intentional, re-baseline by "
+              "copying the fresh JSON into benchmarks/baselines/.",
+              file=sys.stderr)
+        return 1
+    print("regression gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -104,7 +104,10 @@ class BufferedSwiftFile:
     def write_p(self, data: bytes):
         """Process method: buffered write at the current position."""
         self._require_open()
-        data = bytes(data)
+        if not isinstance(data, bytes):
+            # Snapshot once: the flush below may suspend, and the caller
+            # could mutate a bytearray/memoryview argument meanwhile.
+            data = bytes(data)
         if not data:
             return 0
         appended = (self._write_buffer and
@@ -130,9 +133,12 @@ class BufferedSwiftFile:
         """Process method: push buffered writes to the agents."""
         self._require_open()
         if self._write_buffer:
-            payload = bytes(self._write_buffer)
+            # Hand the accumulated buffer off wholesale instead of copying
+            # it: the write path snapshots non-bytes input exactly once,
+            # so swapping in a fresh bytearray halves the copies per flush.
+            payload = self._write_buffer
             start = self._write_start
-            self._write_buffer.clear()
+            self._write_buffer = bytearray()
             yield from self._handle.pwrite_p(start, payload)
         else:
             yield self._handle.engine.env.timeout(0.0)

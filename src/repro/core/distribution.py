@@ -351,7 +351,9 @@ class DistributionAgent:
                 payload = datagram.message.payload
                 if len(payload) < length:
                     # Short read at agent EOF: the rest is zeros (hole).
-                    payload = payload + b"\x00" * (length - len(payload))
+                    # bytes() also flattens memoryview payloads so ``+``
+                    # concatenation is always defined.
+                    payload = bytes(payload) + b"\x00" * (length - len(payload))
                 return payload
         return None
 
@@ -431,7 +433,12 @@ class DistributionAgent:
         if not data:
             yield self.env.timeout(0.0)
             return 0
-        data = bytes(data)
+        if not isinstance(data, bytes):
+            # Snapshot mutable inputs (bytearray, writable memoryview) once:
+            # packet payloads are zero-copy views into ``data`` and stay
+            # referenced across simulation time, so the backing buffer must
+            # be immutable.  A ``bytes`` input passes through uncopied.
+            data = bytes(data)
 
         op = self._new_op("w")
         self._emit(op, "write-begin", logical_offset=offset,
@@ -497,11 +504,14 @@ class DistributionAgent:
                 self._write_agent(channel, region_offset, payload, op)))
 
         # Parity units, one per touched stripe, computed from the images.
+        # The XOR kernel consumes memoryview slices of the stripe image
+        # directly — no per-unit bytes() copies.
         num_stripes = last_stripe - first_stripe + 1
+        image_view = memoryview(image)
         parity_units = []
         for stripe in range(first_stripe, last_stripe + 1):
             base = stripe * layout.stripe_width - span_start
-            units = [bytes(image[base + a * unit: base + (a + 1) * unit])
+            units = [image_view[base + a * unit: base + (a + 1) * unit]
                      for a in range(layout.num_agents)]
             parity_units.append(compute_parity(units, unit))
         parity_payload = b"".join(parity_units)
@@ -519,16 +529,28 @@ class DistributionAgent:
             yield self.env.all_of(writers)
 
     def _assemble_region(self, chunks, data: bytes, base_offset: int):
-        """Concatenate one agent's chunks into its contiguous file region."""
+        """One agent's chunks as its contiguous file region (zero-copy).
+
+        Returns ``(region_offset, payload)`` where ``payload`` is a
+        memoryview into ``data`` when the region is a single chunk (the
+        common case for unit-aligned transfers) and a joined ``bytes``
+        otherwise.  Callers only slice and measure the payload, so both
+        types flow through the packetiser unchanged.
+        """
         chunks = sorted(chunks, key=lambda c: c.agent_offset)
         region_offset = chunks[0].agent_offset
+        view = memoryview(data)
+        if len(chunks) == 1:
+            chunk = chunks[0]
+            start = chunk.logical_offset - base_offset
+            return region_offset, view[start:start + chunk.length]
         parts = []
         expected = region_offset
         for chunk in chunks:
             if chunk.agent_offset != expected:  # pragma: no cover - layout
                 raise TransferError("agent region unexpectedly discontiguous")
             start = chunk.logical_offset - base_offset
-            parts.append(data[start:start + chunk.length])
+            parts.append(view[start:start + chunk.length])
             expected += chunk.length
         return region_offset, b"".join(parts)
 

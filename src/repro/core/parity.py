@@ -9,6 +9,15 @@ Swift keeps one parity unit per stripe on a dedicated parity agent (the
 fixed-parity-agent arrangement of the original RAID paper's level 4, which
 is what "computed copy" describes).  Units shorter than the striping unit
 are zero-padded for the XOR, matching how short trailing units behave.
+
+The XOR kernels work word-wise: each buffer is read as one little-endian
+integer (``int.from_bytes`` — a single C-level pass), XORed, and written
+back out with ``to_bytes``.  Little-endian order makes zero-padding free:
+a unit shorter than ``unit_size`` is missing its *trailing* bytes, which
+land in the integer's high-order positions and are implicitly zero, and
+``to_bytes(unit_size)`` re-pads the result without an intermediate copy.
+Every kernel accepts any bytes-like object (``bytes``, ``bytearray``,
+``memoryview``) so zero-copy slices flow straight through.
 """
 
 from __future__ import annotations
@@ -23,14 +32,13 @@ __all__ = [
 ]
 
 
-def xor_bytes(left: bytes, right: bytes) -> bytes:
+def xor_bytes(left, right) -> bytes:
     """XOR two byte strings, zero-padding the shorter one."""
-    if len(left) < len(right):
-        left, right = right, left
-    result = bytearray(left)
-    for index, value in enumerate(right):
-        result[index] ^= value
-    return bytes(result)
+    size = len(left)
+    if size < len(right):
+        size = len(right)
+    return (int.from_bytes(left, "little")
+            ^ int.from_bytes(right, "little")).to_bytes(size, "little")
 
 
 def compute_parity(units: Iterable[bytes], unit_size: int) -> bytes:
@@ -41,18 +49,17 @@ def compute_parity(units: Iterable[bytes], unit_size: int) -> bytes:
     """
     if unit_size < 1:
         raise ValueError("unit_size must be >= 1")
-    parity = bytearray(unit_size)
+    accumulator = 0
     seen_any = False
     for unit in units:
         seen_any = True
         if len(unit) > unit_size:
             raise ValueError(
                 f"unit of {len(unit)} bytes exceeds unit_size {unit_size}")
-        for index, value in enumerate(unit):
-            parity[index] ^= value
+        accumulator ^= int.from_bytes(unit, "little")
     if not seen_any:
         raise ValueError("cannot compute parity of zero units")
-    return bytes(parity)
+    return accumulator.to_bytes(unit_size, "little")
 
 
 def reconstruct_unit(surviving_units: Sequence[bytes], parity: bytes,
@@ -65,14 +72,13 @@ def reconstruct_unit(surviving_units: Sequence[bytes], parity: bytes,
     if len(parity) != unit_size:
         raise ValueError(
             f"parity must be exactly unit_size ({unit_size}) bytes")
-    missing = bytearray(parity)
+    accumulator = int.from_bytes(parity, "little")
     for unit in surviving_units:
         if len(unit) > unit_size:
             raise ValueError(
                 f"unit of {len(unit)} bytes exceeds unit_size {unit_size}")
-        for index, value in enumerate(unit):
-            missing[index] ^= value
-    return bytes(missing)
+        accumulator ^= int.from_bytes(unit, "little")
+    return accumulator.to_bytes(unit_size, "little")
 
 
 def update_parity(old_data: bytes, new_data: bytes, old_parity: bytes,
@@ -80,12 +86,17 @@ def update_parity(old_data: bytes, new_data: bytes, old_parity: bytes,
     """Small-write parity update: parity ^= old_data ^ new_data.
 
     The read-modify-write shortcut: updating one data unit only needs the
-    old unit and the old parity, not the whole stripe.
+    old unit and the old parity, not the whole stripe.  The zero-padding
+    of short deltas is folded into the word-wise XOR (the short unit's
+    missing tail is the integer's implicit high zeros), so no padded
+    intermediate copy is ever built.
     """
     if len(old_parity) != unit_size:
         raise ValueError(
             f"parity must be exactly unit_size ({unit_size}) bytes")
     if max(len(old_data), len(new_data)) > unit_size:
         raise ValueError("data units must not exceed unit_size")
-    delta = xor_bytes(old_data, new_data)
-    return xor_bytes(old_parity, delta.ljust(unit_size, b"\x00"))
+    return (int.from_bytes(old_parity, "little")
+            ^ int.from_bytes(old_data, "little")
+            ^ int.from_bytes(new_data, "little")).to_bytes(
+                unit_size, "little")

@@ -15,14 +15,26 @@ Typical use::
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Optional
 
-from .events import AllOf, AnyOf, Event, Timeout
+from .events import (
+    _NORMAL_KEY_BASE,
+    _POOL_LIMIT,
+    _PRIORITY_SHIFT,
+    AllOf,
+    AnyOf,
+    Event,
+    Timeout,
+)
 from .process import Process, ProcessGenerator
+from .resources import Release
 
 __all__ = ["Environment", "EmptySchedule", "StopSimulation", "tie_break_key"]
 
+_FNV_OFFSET = 2166136261
+_FNV_PRIME = 16777619
+_FNV_MASK = (1 << 64) - 1
 
 class EmptySchedule(Exception):
     """Raised internally when the calendar runs dry."""
@@ -32,6 +44,27 @@ class StopSimulation(Exception):
     """Raised to terminate :meth:`Environment.run` early."""
 
 
+def _fnv_fold(digest: int, text: str) -> int:
+    """Fold ``text`` into a running 64-bit-masked FNV-1a digest."""
+    for char in text:
+        digest = ((digest ^ ord(char)) * _FNV_PRIME) & _FNV_MASK
+    return digest
+
+
+def _tie_prefix(seed: int) -> int:
+    """The FNV-1a digest of ``f"{seed}:"`` — the per-seed constant part.
+
+    Hashed once per :class:`Environment` (or per distinct seed through
+    :func:`tie_break_key`) instead of re-mixing the seed's digits on
+    every scheduled event.
+    """
+    return _fnv_fold(_FNV_OFFSET, f"{seed}:")
+
+
+#: Memoised per-seed prefixes for the standalone :func:`tie_break_key`.
+_PREFIX_CACHE: dict[int, int] = {}
+
+
 def tie_break_key(seed: int, eid: int) -> tuple[int, int]:
     """Deterministic shuffle key for one calendar entry.
 
@@ -39,11 +72,16 @@ def tie_break_key(seed: int, eid: int) -> tuple[int, int]:
     sort by the hash instead of by insertion order, so each seed yields
     one fixed permutation of every tie.  The trailing ``eid`` keeps the
     key total even on hash collisions.
+
+    The digest is bit-identical to hashing ``f"{seed}:{eid}"`` from
+    scratch (the pre-optimization implementation): FNV-1a folds left to
+    right, so the seed-and-colon prefix can be hashed once and only the
+    ``eid`` digits folded per call.
     """
-    digest = 2166136261
-    for char in f"{seed}:{eid}":
-        digest = ((digest ^ ord(char)) * 16777619) % (1 << 64)
-    return (digest, eid)
+    prefix = _PREFIX_CACHE.get(seed)
+    if prefix is None:
+        prefix = _PREFIX_CACHE[seed] = _tie_prefix(seed)
+    return (_fnv_fold(prefix, str(eid)), eid)
 
 
 class Environment:
@@ -72,7 +110,11 @@ class Environment:
         self._queue: list = []
         self._eid = 0
         self._active_process: Optional[Process] = None
-        self.tie_break_seed = tie_break_seed
+        # Free lists of processed Timeout / Release / Request objects
+        # (see timeout(), Resource.release() and Resource.request()).
+        self._timeout_pool: list = []
+        self._release_pool: list = []
+        self._request_pool: list = []
         # Monitoring hooks (repro.check.sanitize and repro.check.hb attach
         # here).  All lists are empty in normal runs so the hot loop pays
         # only a truthiness test per event.
@@ -81,6 +123,19 @@ class Environment:
         self._schedule_monitors: list = []
         self._access_monitors: list = []
         self._transfer_monitors: list = []
+        # The setter below also caches the seed-dependent half of
+        # tie_break_key so schedule() folds only the eid digits per event
+        # (None = ties sort by raw eid, the default contract), and
+        # refreshes the two derived fast-path flags:
+        #   _schedule_fast — triggering code may push a
+        #       (now+delay, _NORMAL_KEY_BASE+eid, event) entry directly,
+        #       bypassing schedule(): no shuffle, no schedule monitors.
+        #   _unmonitored — no step/schedule/resource/access monitors at
+        #       all, so event pooling and the inlined monitor-free
+        #       resource paths are allowed.
+        # Both are recomputed on every monitor attach/detach, turning
+        # several per-event list-truthiness tests into one slot read.
+        self.tie_break_seed = tie_break_seed
 
     # -- clock ----------------------------------------------------------------
 
@@ -88,6 +143,26 @@ class Environment:
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
+
+    @property
+    def tie_break_seed(self) -> Optional[int]:
+        """Seed of the deterministic tie shuffle (None = insertion order)."""
+        return self._tie_break_seed
+
+    @tie_break_seed.setter
+    def tie_break_seed(self, seed: Optional[int]) -> None:
+        self._tie_break_seed = seed
+        self._tie_seed_prefix = None if seed is None else _tie_prefix(seed)
+        self._refresh_fast_flags()
+
+    def _refresh_fast_flags(self) -> None:
+        """Recompute the cached hot-path gates (see __init__)."""
+        self._schedule_fast = (self._tie_seed_prefix is None
+                               and not self._schedule_monitors)
+        self._unmonitored = not (self._step_monitors
+                                 or self._schedule_monitors
+                                 or self._resource_monitors
+                                 or self._access_monitors)
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -104,6 +179,7 @@ class Environment:
         any non-monotonic timestamp the engine itself would trip over.
         """
         self._step_monitors.append(callback)
+        self._refresh_fast_flags()
 
     def remove_step_monitor(self, callback) -> None:
         """Detach a step monitor (no-op if absent)."""
@@ -111,12 +187,14 @@ class Environment:
             self._step_monitors.remove(callback)
         except ValueError:
             pass
+        self._refresh_fast_flags()
 
     def add_resource_monitor(self, callback) -> None:
         """Call ``callback(action, resource, request)`` on every grant or
         release of any :class:`~repro.des.resources.Resource` in this
         environment (``action`` is ``"acquire"`` or ``"release"``)."""
         self._resource_monitors.append(callback)
+        self._refresh_fast_flags()
 
     def remove_resource_monitor(self, callback) -> None:
         """Detach a resource monitor (no-op if absent)."""
@@ -124,6 +202,7 @@ class Environment:
             self._resource_monitors.remove(callback)
         except ValueError:
             pass
+        self._refresh_fast_flags()
 
     def _notify_resource(self, action: str, resource, request) -> None:
         for callback in self._resource_monitors:
@@ -139,6 +218,7 @@ class Environment:
         logical clock of the segment that caused it.
         """
         self._schedule_monitors.append(callback)
+        self._refresh_fast_flags()
 
     def remove_schedule_monitor(self, callback) -> None:
         """Detach a schedule monitor (no-op if absent)."""
@@ -146,6 +226,7 @@ class Environment:
             self._schedule_monitors.remove(callback)
         except ValueError:
             pass
+        self._refresh_fast_flags()
 
     def add_access_monitor(self, callback) -> None:
         """Call ``callback(obj, label, is_write)`` on every instrumented
@@ -153,6 +234,7 @@ class Environment:
         mutations, :class:`~repro.des.resources.Store` puts/gets/purges).
         """
         self._access_monitors.append(callback)
+        self._refresh_fast_flags()
 
     def remove_access_monitor(self, callback) -> None:
         """Detach an access monitor (no-op if absent)."""
@@ -160,6 +242,7 @@ class Environment:
             self._access_monitors.remove(callback)
         except ValueError:
             pass
+        self._refresh_fast_flags()
 
     def _notify_access(self, obj, label: str, is_write: bool) -> None:
         for callback in self._access_monitors:
@@ -193,7 +276,37 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event that fires ``delay`` seconds from now."""
+        """An event that fires ``delay`` seconds from now.
+
+        Processed Timeouts are recycled through a small free list: once a
+        Timeout has fired and its callbacks have run, a later ``timeout()``
+        call may return the same object re-armed.  Holding a reference to
+        a fired Timeout and inspecting it after the simulation has moved
+        on is therefore unsupported (see docs/PERFORMANCE.md).  Recycling
+        is suspended while step or schedule monitors are attached, since
+        detectors key state by event identity.
+        """
+        pool = self._timeout_pool
+        if pool and self._unmonitored:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            # Pooled instances arrive with an empty callbacks list (see
+            # the run-loop recycler), so re-arming writes four slots and
+            # allocates nothing.
+            # A processed successful Timeout already has _ok True and
+            # _defused False; only delay and value change between lives.
+            timeout = pool.pop()
+            timeout.delay = delay
+            timeout._value = value
+            # No monitors to notify (checked above); push directly.
+            if self._schedule_fast:
+                eid = self._eid = self._eid + 1
+                heappush(self._queue,
+                         (self._now + delay, _NORMAL_KEY_BASE + eid,
+                          timeout))
+            else:
+                self.schedule(timeout, delay=delay)
+            return timeout
         return Timeout(self, delay, value)
 
     def process(self, generator: ProcessGenerator) -> Process:
@@ -216,14 +329,23 @@ class Environment:
         delay: float = 0.0,
         priority: int = PRIORITY_NORMAL,
     ) -> None:
-        """Place a triggered event on the calendar ``delay`` seconds ahead."""
-        self._eid += 1
+        """Place a triggered event on the calendar ``delay`` seconds ahead.
+
+        Calendar entries are ``(time, key, event)``: ``key`` packs the
+        priority above the event id (or above the seeded FNV digest and
+        id when tie-break shuffling is on), so entries sort by
+        ``(time, priority, tie)`` with a single integer comparison.
+        """
+        eid = self._eid = self._eid + 1
         if self._schedule_monitors:
             for monitor in self._schedule_monitors:
                 monitor(event, self._active_process)
-        tie = (self._eid if self.tie_break_seed is None
-               else tie_break_key(self.tie_break_seed, self._eid))
-        heapq.heappush(self._queue, (self._now + delay, priority, tie, event))
+        prefix = self._tie_seed_prefix
+        if prefix is None:
+            key = (priority << _PRIORITY_SHIFT) + eid
+        else:
+            key = (priority, _fnv_fold(prefix, str(eid)), eid)
+        heappush(self._queue, (self._now + delay, key, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -232,7 +354,7 @@ class Environment:
     def step(self) -> None:
         """Process exactly one event from the calendar."""
         try:
-            when, _, _, event = heapq.heappop(self._queue)
+            when, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
         if self._step_monitors:
@@ -249,6 +371,29 @@ class Environment:
             if isinstance(exc, BaseException):
                 raise exc
             raise RuntimeError(f"unhandled failed event: {event!r}")
+        self._maybe_recycle(event)
+
+    def _maybe_recycle(self, event: Event) -> None:
+        """Return a processed Timeout or Release to its free list.
+
+        Only exact Timeout/Release instances are pooled (subclasses may
+        carry extra state), the pools are bounded, and recycling is
+        disabled entirely while step or schedule monitors are attached —
+        the happens-before detector and the sanitizer key per-event
+        state by object identity, which reuse would alias.
+        """
+        if not self._unmonitored:
+            return
+        cls = type(event)
+        if cls is Timeout:
+            pool = self._timeout_pool
+        elif cls is Release:
+            pool = self._release_pool
+        else:
+            return
+        if len(pool) < _POOL_LIMIT:
+            event.callbacks = []  # pool invariant: empty list, not None
+            pool.append(event)
 
     # -- run loop -----------------------------------------------------------
 
@@ -278,12 +423,92 @@ class Environment:
                     f"(now={self._now})"
                 )
 
+        # The drain loop is step() inlined: one heappop, the monitor
+        # branch, the clock write and the callback fan-out per event, with
+        # the queue, the monitor list and the timeout pool bound to locals.
+        # Monitors mutate those lists in place, so the aliases stay live.
+        queue = self._queue
+        step_monitors = self._step_monitors
+        schedule_monitors = self._schedule_monitors
+        timeout_pool = self._timeout_pool
+        release_pool = self._release_pool
         try:
+            infinity = float("inf")
+            if stop_time == infinity:
+                # Drain-to-empty loop: no stop-time comparison per event.
+                while queue:
+                    when, _, event = heappop(queue)
+                    if step_monitors:
+                        for monitor in step_monitors:
+                            monitor(when, event)
+                    self._now = when
+                    callbacks, event.callbacks = event.callbacks, None
+                    if callbacks:
+                        for callback in callbacks:
+                            callback(event)
+                    if event._ok:
+                        cls = type(event)
+                        if (cls is Timeout
+                                and len(timeout_pool) < _POOL_LIMIT
+                                and not step_monitors
+                                and not schedule_monitors):
+                            callbacks.clear()
+                            event.callbacks = callbacks
+                            timeout_pool.append(event)
+                        elif (cls is Release
+                                and len(release_pool) < _POOL_LIMIT
+                                and not step_monitors
+                                and not schedule_monitors):
+                            callbacks.clear()
+                            event.callbacks = callbacks
+                            release_pool.append(event)
+                    elif not event._defused:
+                        exc = event._value
+                        if isinstance(exc, BaseException):
+                            raise exc
+                        raise RuntimeError(
+                            f"unhandled failed event: {event!r}")
+                raise EmptySchedule()
             while True:
-                if self.peek() > stop_time:
+                if not queue:
                     self._now = stop_time
                     return None
-                self.step()
+                if queue[0][0] > stop_time:
+                    self._now = stop_time
+                    return None
+                when, _, event = heappop(queue)
+                if step_monitors:
+                    for monitor in step_monitors:
+                        monitor(when, event)
+                self._now = when
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok:
+                    cls = type(event)
+                    if (cls is Timeout
+                            and len(timeout_pool) < _POOL_LIMIT
+                            and not step_monitors
+                            and not schedule_monitors):
+                        # Pool invariant: a pooled Timeout carries an
+                        # *empty* callbacks list, recycled from the one
+                        # just drained, so timeout() re-arms it without
+                        # allocating.
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        timeout_pool.append(event)
+                    elif (cls is Release
+                            and len(release_pool) < _POOL_LIMIT
+                            and not step_monitors
+                            and not schedule_monitors):
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        release_pool.append(event)
+                elif not event._defused:
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        raise exc
+                    raise RuntimeError(f"unhandled failed event: {event!r}")
         except StopSimulation as stop:
             return stop.args[0] if stop.args else None
         except EmptySchedule:

@@ -16,6 +16,7 @@ and the :class:`Timeout` event used to model the passage of time.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -44,6 +45,21 @@ class _PendingType:
 #: Sentinel stored in :attr:`Event._value` until the event is triggered.
 PENDING = _PendingType()
 
+#: Calendar entries are ``(time, key, event)`` where ``key`` folds the
+#: scheduling priority and the monotonically increasing event id into a
+#: single integer: ``(priority << _PRIORITY_SHIFT) | eid``.  Urgent
+#: events (priority 0) therefore sort before normal ones (priority 1) at
+#: equal time, and insertion order breaks the remaining ties — one
+#: integer comparison instead of two tuple elements.
+_PRIORITY_SHIFT = 62
+
+#: Key base for PRIORITY_NORMAL (1): ``1 << _PRIORITY_SHIFT``.
+_NORMAL_KEY_BASE = 1 << _PRIORITY_SHIFT
+
+#: How many processed events each per-environment free list may hold
+#: (Timeout, Release and Request pools all share this bound).
+_POOL_LIMIT = 128
+
 
 class Interrupt(Exception):
     """Raised inside a process when another process interrupts it.
@@ -64,11 +80,21 @@ class Interrupt(Exception):
 class Event:
     """A one-shot occurrence on the simulation calendar.
 
+    Events are the single most-allocated object in any run, so the whole
+    hierarchy is slotted: no per-instance ``__dict__``, and subclasses
+    declare exactly the fields they add.
+
     Parameters
     ----------
     env:
         The environment the event belongs to.
     """
+
+    #: ``_hb_clock`` is written only by the happens-before detector
+    #: (:mod:`repro.check.hb`) while its schedule monitor is attached;
+    #: normal runs never touch the slot, so it stays unset and costs
+    #: nothing to construct.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_hb_clock")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -116,7 +142,16 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        # Inlined env.schedule(self) for the common no-monitor, no-shuffle
+        # case: succeed() fires once per granted request, completed
+        # process and message delivery, so the call overhead shows up in
+        # every hot loop.
+        env = self.env
+        if env._schedule_fast:
+            eid = env._eid = env._eid + 1
+            heappush(env._queue, (env._now, _NORMAL_KEY_BASE + eid, self))
+        else:
+            env.schedule(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -157,16 +192,32 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    Timeouts dominate event traffic, so construction is flattened (no
+    ``super().__init__`` hop) and processed instances are recycled by
+    :meth:`Environment.timeout` through a free list — see
+    docs/PERFORMANCE.md for the pooling contract (do not hold on to a
+    Timeout after it has fired).
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._defused = False
         self.delay = delay
         self._ok = True
         self._value = value
-        env.schedule(self, delay=delay)
+        if env._schedule_fast:
+            eid = env._eid = env._eid + 1
+            heappush(env._queue,
+                     (env._now + delay, _NORMAL_KEY_BASE + eid, self))
+        else:
+            env.schedule(self, delay=delay)
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
@@ -180,6 +231,8 @@ class ConditionEvent(Event):
     dict mapping each *completed* sub-event to its value, in completion
     order.
     """
+
+    __slots__ = ("events", "_completed")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -218,12 +271,16 @@ class ConditionEvent(Event):
 class AllOf(ConditionEvent):
     """Triggers once *all* sub-events have succeeded."""
 
+    __slots__ = ()
+
     def _count_needed(self) -> int:
         return len(self.events)
 
 
 class AnyOf(ConditionEvent):
     """Triggers as soon as *any* sub-event has succeeded."""
+
+    __slots__ = ()
 
     def _count_needed(self) -> int:
         return 1

@@ -8,11 +8,11 @@ queues, mailboxes, free-lists.
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from heapq import heapify, heappop, heappush
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
-from .events import Event
+from .events import _NORMAL_KEY_BASE, _POOL_LIMIT, PENDING, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from .engine import Environment
@@ -31,8 +31,16 @@ class Request(Event):
         # released on exit
     """
 
+    __slots__ = ("resource", "priority")
+
     def __init__(self, resource: "Resource", priority: float = 0.0):
-        super().__init__(resource.env)
+        # Flattened Event.__init__ — requests are made once per disk and
+        # network hold, so the super() hop is measurable.
+        self.env = resource.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self.resource = resource
         self.priority = priority
         resource._enqueue(self)
@@ -42,6 +50,19 @@ class Request(Event):
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
         self.resource.release(self)
+        # Leaving the with-block is the one point where the request is
+        # provably retired — granted, processed (callbacks drained to
+        # None) and released, with no later release() call coming (a
+        # cancel() inside the block already released; the second release
+        # above was a no-op).  Recycle it.  Requests released any other
+        # way (explicit release(), cancel without a with) are never
+        # pooled, so inspecting those afterwards stays safe.
+        env = self.env
+        if (self.callbacks is None
+                and env._unmonitored
+                and len(env._request_pool) < _POOL_LIMIT):
+            self.callbacks = []
+            env._request_pool.append(self)
 
     def cancel(self) -> None:
         """Withdraw the request.
@@ -64,10 +85,23 @@ class Request(Event):
 class Release(Event):
     """Event returned by :meth:`Resource.release`; fires immediately."""
 
+    __slots__ = ()
+
     def __init__(self, resource: "Resource", request: Request):
-        super().__init__(resource.env)
+        env = resource.env
+        self.env = env
+        self.callbacks = []
+        self._ok = True
+        self._value = None
+        self._defused = False
         resource._dequeue(request)
-        self.succeed()
+        # Inlined self.succeed() — a Release fires exactly once, straight
+        # from construction, so the already-triggered guard is dead code.
+        if env._schedule_fast:
+            eid = env._eid = env._eid + 1
+            heappush(env._queue, (env._now, _NORMAL_KEY_BASE + eid, self))
+        else:
+            env.schedule(self)
 
 
 class Resource:
@@ -99,36 +133,127 @@ class Resource:
         return len(self._waiting)
 
     def request(self, priority: float = 0.0) -> Request:
-        """Claim a server; the returned event fires when granted."""
+        """Claim a server; the returned event fires when granted.
+
+        Requests are recycled through a per-environment free list once
+        they have been granted, processed *and* released — holding on to
+        a request after releasing it and inspecting it later is
+        unsupported (see docs/PERFORMANCE.md).  Recycling is suspended
+        while step, schedule or resource monitors are attached, since
+        the leak detector keys held requests by identity.
+        """
+        env = self.env
+        pool = env._request_pool
+        if pool and env._unmonitored:
+            # Re-arm a retired request and inline the monitor-free
+            # _enqueue: the gate above already proved every hook list
+            # empty, so the fast path is slot writes plus one heappush.
+            request = pool.pop()
+            request._value = PENDING
+            request._ok = None
+            request._defused = False
+            request.resource = self
+            request.priority = priority
+            if not self._waiting and len(self.users) < self.capacity:
+                self.users.append(request)
+                request._ok = True
+                request._value = None
+                if env._schedule_fast:
+                    eid = env._eid = env._eid + 1
+                    heappush(env._queue,
+                             (env._now, _NORMAL_KEY_BASE + eid, request))
+                else:
+                    env.schedule(request)
+            else:
+                heappush(self._waiting,
+                         (priority, next(self._ticket), request))
+                if len(self.users) < self.capacity:
+                    self._grant()
+            return request
         return Request(self, priority)
 
     def release(self, request: Request) -> Release:
-        """Give a server back (or withdraw a waiting request)."""
+        """Give a server back (or withdraw a waiting request).
+
+        Like Timeouts, processed Release events are recycled through a
+        per-environment free list (they carry no state of their own);
+        do not inspect a Release after the simulation has moved past it.
+        """
+        env = self.env
+        pool = env._release_pool
+        if pool and env._unmonitored:
+            # Re-arm a pooled Release and inline the monitor-free
+            # _dequeue (users scan, regrant, no notifications).  A
+            # Release's _ok/_value/_defused never change between lives,
+            # so re-arming writes nothing.
+            release = pool.pop()
+            try:
+                self.users.remove(request)
+            except ValueError:
+                self._withdraw(request)
+            else:
+                # One release frees exactly one server, so at most one
+                # waiter can be granted — grant it inline instead of
+                # paying _grant()'s loop setup.
+                waiting = self._waiting
+                if waiting and len(self.users) < self.capacity:
+                    _, _, granted = heappop(waiting)
+                    self.users.append(granted)
+                    granted._ok = True
+                    granted._value = None
+                    if env._schedule_fast:
+                        eid = env._eid = env._eid + 1
+                        heappush(env._queue,
+                                 (env._now, _NORMAL_KEY_BASE + eid, granted))
+                    else:
+                        env.schedule(granted)
+            if env._schedule_fast:
+                eid = env._eid = env._eid + 1
+                heappush(env._queue,
+                         (env._now, _NORMAL_KEY_BASE + eid, release))
+            else:
+                env.schedule(release)
+            return release
         return Release(self, request)
 
     # -- internals ------------------------------------------------------------
 
     def _enqueue(self, request: Request) -> None:
-        if self.env._access_monitors:
-            self.env._notify_access(self, "Resource.request", True)
-        heapq.heappush(
+        env = self.env
+        if env._access_monitors:
+            env._notify_access(self, "Resource.request", True)
+        if not self._waiting and len(self.users) < self.capacity:
+            # Uncontended fast path: an empty wait queue with a free
+            # server grants immediately, skipping the heap round-trip.
+            # Ticket numbers only order coexisting *waiting* entries, so
+            # not consuming one here changes no grant order.
+            self.users.append(request)
+            if env._resource_monitors:
+                env._notify_resource("acquire", self, request)
+            self._fire(request)
+            return
+        heappush(
             self._waiting, (request.priority, next(self._ticket), request)
         )
-        self._grant()
+        if len(self.users) < self.capacity:
+            self._grant()
 
     def _dequeue(self, request: Request) -> None:
-        if request in self.users:
+        try:
             self.users.remove(request)
-            if self.env._access_monitors:
-                self.env._notify_access(self, "Resource.release", True)
-            if self.env._resource_monitors:
-                self.env._notify_resource("release", self, request)
-            self._grant()
-        else:
+        except ValueError:
             # Releasing a request that was never granted (or was already
             # released) degrades to a queue withdrawal, which is a no-op
             # if the request is not waiting either.
             self._withdraw(request)
+            return
+        env = self.env
+        if env._access_monitors:
+            env._notify_access(self, "Resource.release", True)
+        if env._resource_monitors:
+            env._notify_resource("release", self, request)
+        if self._waiting:
+            self._grant()
 
     def _withdraw(self, request: Request) -> None:
         """Remove ``request`` from the wait queue without firing anything."""
@@ -137,19 +262,52 @@ class Resource:
         ]
         if len(survivors) != len(self._waiting):
             self._waiting = survivors
-            heapq.heapify(self._waiting)
+            heapify(self._waiting)
+
+    def _fire(self, request: Request) -> None:
+        """Trigger a freshly granted request (``succeed()`` sans guard).
+
+        Grant paths hand each request to ``_fire`` exactly once — the
+        heap pop or fast path removes it from contention — so the
+        already-triggered check in :meth:`Event.succeed` is dead weight
+        at ~20k grants per simulated second.
+        """
+        request._ok = True
+        request._value = None
+        env = self.env
+        if env._schedule_fast:
+            eid = env._eid = env._eid + 1
+            heappush(env._queue, (env._now, _NORMAL_KEY_BASE + eid, request))
+        else:
+            env.schedule(request)
 
     def _grant(self) -> None:
-        while self._waiting and len(self.users) < self.capacity:
-            _, _, request = heapq.heappop(self._waiting)
-            self.users.append(request)
-            if self.env._resource_monitors:
-                self.env._notify_resource("acquire", self, request)
-            request.succeed()
+        waiting = self._waiting
+        users = self.users
+        capacity = self.capacity
+        env = self.env
+        monitors = env._resource_monitors
+        slow = not env._schedule_fast
+        queue = env._queue
+        now = env._now
+        while waiting and len(users) < capacity:
+            _, _, request = heappop(waiting)
+            users.append(request)
+            if monitors:
+                env._notify_resource("acquire", self, request)
+            request._ok = True
+            request._value = None
+            if slow:
+                env.schedule(request)
+            else:
+                eid = env._eid = env._eid + 1
+                heappush(queue, (now, _NORMAL_KEY_BASE + eid, request))
 
 
 class StorePut(Event):
     """A pending put into a :class:`Store`."""
+
+    __slots__ = ("item",)
 
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)
@@ -162,6 +320,8 @@ class StorePut(Event):
 
 class StoreGet(Event):
     """A pending get from a :class:`Store`."""
+
+    __slots__ = ("store", "predicate")
 
     def __init__(self, store: "Store", predicate: Optional[Callable[[Any], bool]]):
         super().__init__(store.env)

@@ -11,7 +11,13 @@ from .figures import (
     figure5_series,
     figure6_series,
 )
+from .cache import ResultCache, code_version, config_key
 from .model import SimResult, SwiftSimModel
+from .parallel import (
+    find_max_sustainable_many,
+    parallel_load_sweep,
+    run_many,
+)
 from .sweep import find_max_sustainable, load_sweep, run_once
 from .trace import (
     TraceRecord,
@@ -32,6 +38,12 @@ __all__ = [
     "run_once",
     "load_sweep",
     "find_max_sustainable",
+    "run_many",
+    "parallel_load_sweep",
+    "find_max_sustainable_many",
+    "ResultCache",
+    "config_key",
+    "code_version",
     "FigurePoint",
     "figure3_series",
     "figure4_series",

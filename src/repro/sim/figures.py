@@ -58,9 +58,11 @@ class FigurePoint:
 
 
 def _response_time_series(base: SimConfig, series_name: str,
-                          rates: Sequence[float]) -> list[FigurePoint]:
+                          rates: Sequence[float],
+                          workers: int = 1,
+                          cache=None) -> list[FigurePoint]:
     points = []
-    for result in load_sweep(base, rates):
+    for result in load_sweep(base, rates, workers=workers, cache=cache):
         points.append(FigurePoint(
             series=series_name,
             x=result.config.arrival_rate,
@@ -74,8 +76,14 @@ def figure3_series(rates: Sequence[float] = DEFAULT_RATES,
                    disk_counts: Sequence[int] = FIG3_DISK_COUNTS,
                    block_sizes: Sequence[int] = FIG3_BLOCK_SIZES,
                    num_requests: int = 400,
-                   seed: int = 0) -> list[FigurePoint]:
-    """Mean time to complete a 1 MB request vs. load (M2372K disks)."""
+                   seed: int = 0,
+                   workers: int = 1,
+                   cache=None) -> list[FigurePoint]:
+    """Mean time to complete a 1 MB request vs. load (M2372K disks).
+
+    ``workers``/``cache`` fan the grid out and reuse stored runs — the
+    points are bit-identical to the serial, uncached computation.
+    """
     points = []
     for unit in block_sizes:
         for disks in disk_counts:
@@ -89,14 +97,17 @@ def figure3_series(rates: Sequence[float] = DEFAULT_RATES,
                 seed=seed,
             )
             name = f"{unit // KB}KB blocks, {disks} disks"
-            points.extend(_response_time_series(base, name, rates))
+            points.extend(_response_time_series(base, name, rates,
+                                                workers=workers, cache=cache))
     return points
 
 
 def figure4_series(rates: Sequence[float] = DEFAULT_RATES,
                    disk_counts: Sequence[int] = FIG4_DISK_COUNTS,
                    num_requests: int = 400,
-                   seed: int = 0) -> list[FigurePoint]:
+                   seed: int = 0,
+                   workers: int = 1,
+                   cache=None) -> list[FigurePoint]:
     """Mean time to complete a 128 KB request vs. load (1.5 MB/s disks)."""
     points = []
     for disks in disk_counts:
@@ -110,7 +121,8 @@ def figure4_series(rates: Sequence[float] = DEFAULT_RATES,
             seed=seed,
         )
         name = f"{disks} disk" + ("s" if disks > 1 else "")
-        points.extend(_response_time_series(base, name, rates))
+        points.extend(_response_time_series(base, name, rates,
+                                            workers=workers, cache=cache))
     return points
 
 
@@ -119,11 +131,14 @@ def _sustainable_series(request_size: int, transfer_unit: int,
                         disk_names: Sequence[str],
                         num_requests: int,
                         iterations: int,
-                        seed: int) -> list[FigurePoint]:
-    points = []
+                        seed: int,
+                        workers: int = 1,
+                        cache=None) -> list[FigurePoint]:
+    bases = []
+    cells = []
     for disk_name in disk_names:
         for disks in disk_counts:
-            base = SimConfig(
+            bases.append(SimConfig(
                 num_disks=disks,
                 disk=DISK_CATALOG[disk_name],
                 transfer_unit=transfer_unit,
@@ -131,32 +146,43 @@ def _sustainable_series(request_size: int, transfer_unit: int,
                 num_requests=num_requests,
                 warmup_requests=num_requests // 10,
                 seed=seed,
-            )
-            result = find_max_sustainable(base, iterations=iterations)
-            points.append(FigurePoint(
-                series=disk_name,
-                x=disks,
-                y=result.client_data_rate,
-                result=result,
             ))
-    return points
+            cells.append((disk_name, disks))
+    if workers > 1 or cache is not None:
+        from .parallel import find_max_sustainable_many
+        results = find_max_sustainable_many(bases, iterations=iterations,
+                                            workers=workers, cache=cache)
+    else:
+        results = [find_max_sustainable(base, iterations=iterations)
+                   for base in bases]
+    return [
+        FigurePoint(series=disk_name, x=disks,
+                    y=result.client_data_rate, result=result)
+        for (disk_name, disks), result in zip(cells, results)
+    ]
 
 
 def figure5_series(disk_counts: Sequence[int] = FIG56_DISK_COUNTS,
                    disk_names: Sequence[str] = tuple(FIGURE_5_6_DISKS),
                    num_requests: int = 250,
                    iterations: int = 8,
-                   seed: int = 0) -> list[FigurePoint]:
+                   seed: int = 0,
+                   workers: int = 1,
+                   cache=None) -> list[FigurePoint]:
     """Max sustainable data-rate, 128 KB requests / 4 KB units."""
     return _sustainable_series(128 * KB, 4 * KB, disk_counts, disk_names,
-                               num_requests, iterations, seed)
+                               num_requests, iterations, seed,
+                               workers=workers, cache=cache)
 
 
 def figure6_series(disk_counts: Sequence[int] = FIG56_DISK_COUNTS,
                    disk_names: Sequence[str] = tuple(FIGURE_5_6_DISKS),
                    num_requests: int = 250,
                    iterations: int = 8,
-                   seed: int = 0) -> list[FigurePoint]:
+                   seed: int = 0,
+                   workers: int = 1,
+                   cache=None) -> list[FigurePoint]:
     """Max sustainable data-rate, 1 MB requests / 32 KB units."""
     return _sustainable_series(1 * MB, 32 * KB, disk_counts, disk_names,
-                               num_requests, iterations, seed)
+                               num_requests, iterations, seed,
+                               workers=workers, cache=cache)

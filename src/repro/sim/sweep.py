@@ -27,8 +27,22 @@ def run_once(config: SimConfig, storage_factory=None,
 
 def load_sweep(base: SimConfig,
                arrival_rates: Sequence[float],
-               storage_factory=None) -> list[SimResult]:
-    """Mean completion time across a grid of arrival rates."""
+               storage_factory=None,
+               workers: int = 1,
+               cache=None) -> list[SimResult]:
+    """Mean completion time across a grid of arrival rates.
+
+    ``workers > 1`` fans the (independent, deterministic) runs out over a
+    process pool; ``cache`` (a :class:`~repro.sim.cache.ResultCache`)
+    short-circuits runs already on disk.  Both apply only to plain runs:
+    a ``storage_factory`` is not part of the cache key and cannot be
+    pickled reliably, so its presence forces the serial, uncached path.
+    Results are bit-identical across all paths.
+    """
+    if storage_factory is None and (workers > 1 or cache is not None):
+        from .parallel import parallel_load_sweep
+        return parallel_load_sweep(base, arrival_rates, workers=workers,
+                                   cache=cache)
     results = []
     for rate in arrival_rates:
         config = dataclasses.replace(base, arrival_rate=rate)
@@ -40,18 +54,33 @@ def find_max_sustainable(base: SimConfig,
                          rate_low: float = 0.05,
                          rate_high: float = 400.0,
                          iterations: int = 10,
-                         storage_factory=None) -> SimResult:
+                         storage_factory=None,
+                         cache=None) -> SimResult:
     """Bisect for the §5.2 maximum-sustainable-load point.
 
     Returns the result at the highest arrival rate found whose mean
-    completion time does not exceed the mean interarrival time.
+    completion time does not exceed the mean interarrival time.  The
+    search is sequential (each probe depends on the last verdict), but a
+    ``cache`` makes repeated searches resolve instantly; to parallelise
+    *across* base configs use
+    :func:`~repro.sim.parallel.find_max_sustainable_many`.
     """
     if rate_low <= 0 or rate_high <= rate_low:
         raise ValueError("need 0 < rate_low < rate_high")
+    if storage_factory is not None:
+        cache = None  # the factory is invisible to the cache key
 
     def sustainable(rate: float) -> tuple[bool, SimResult]:
-        result = run_once(dataclasses.replace(base, arrival_rate=rate),
-                          storage_factory=storage_factory)
+        config = dataclasses.replace(base, arrival_rate=rate)
+        if cache is not None:
+            from .cache import config_key
+            key = config_key(config)
+            result = cache.get(key)
+            if result is None:
+                result = run_once(config)
+                cache.put(key, result)
+        else:
+            result = run_once(config, storage_factory=storage_factory)
         return result.sustainable, result
 
     ok_low, best = sustainable(rate_low)

@@ -263,7 +263,10 @@ class LocalFileSystem:
         """Install bytes into the store; returns the disk blocks touched."""
         touched: list[int] = []
         position = offset
-        remaining = memoryview(bytes(data))
+        # Any bytes-like object works directly: the view is fully consumed
+        # (copied into the block store) before this method returns, so no
+        # aliasing with the caller's buffer can outlive the call.
+        remaining = memoryview(data)
         while remaining.nbytes:
             file_block = position // self.block_size
             within = position % self.block_size

@@ -17,7 +17,7 @@ def _inject_stale_event(env):
     """Corrupt the calendar: an event timestamped before the clock."""
     event = env.event()
     event._ok = True
-    heapq.heappush(env._queue, (env.now - 0.5, 1, 10 ** 9, event))
+    heapq.heappush(env._queue, (env.now - 0.5, (1 << 62) + 10 ** 9, event))
 
 
 def test_clean_run_passes():

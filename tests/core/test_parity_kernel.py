@@ -1,0 +1,127 @@
+"""The word-wise XOR kernels vs. a byte-loop reference.
+
+The parity module's kernels read whole buffers as little-endian integers
+(one C-level pass) instead of looping per byte; these properties pin the
+optimised kernels to the obviously-correct per-byte implementation across
+the awkward lengths (0, 1, word-unaligned) and across input types
+(``bytes``, ``bytearray``, ``memoryview``), so the zero-copy data path can
+hand any bytes-like slice straight in.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.core import compute_parity, reconstruct_unit, update_parity, xor_bytes
+
+
+def _xor_reference(left: bytes, right: bytes) -> bytes:
+    """Per-byte XOR with zero-padding — the pre-optimisation semantics."""
+    size = max(len(left), len(right))
+    left = bytes(left).ljust(size, b"\x00")
+    right = bytes(right).ljust(size, b"\x00")
+    return bytes(a ^ b for a, b in zip(left, right))
+
+
+def _parity_reference(units, unit_size: int) -> bytes:
+    accumulator = b"\x00" * unit_size
+    for unit in units:
+        accumulator = _xor_reference(accumulator, bytes(unit))
+    return accumulator
+
+
+# Deliberately word-hostile lengths: empty, single byte, 7/9 around the
+# 8-byte word, and a couple of large unaligned sizes.
+_AWKWARD_LENGTHS = (0, 1, 2, 7, 8, 9, 63, 64, 65, 1000, 4097)
+
+buffers = st.one_of(
+    st.binary(max_size=300),
+    st.sampled_from(_AWKWARD_LENGTHS).flatmap(
+        lambda n: st.binary(min_size=n, max_size=n)),
+)
+
+
+@given(buffers, buffers)
+def test_xor_bytes_matches_byte_loop(left, right):
+    assert xor_bytes(left, right) == _xor_reference(left, right)
+
+
+@given(buffers, buffers)
+def test_xor_bytes_accepts_any_bytes_like(left, right):
+    expected = _xor_reference(left, right)
+    assert xor_bytes(bytearray(left), right) == expected
+    assert xor_bytes(left, memoryview(right)) == expected
+    assert xor_bytes(memoryview(bytearray(left)),
+                     memoryview(right)) == expected
+
+
+@given(st.integers(min_value=1, max_value=64).flatmap(
+    lambda unit: st.tuples(
+        st.just(unit),
+        st.lists(st.binary(max_size=unit), min_size=1, max_size=5))))
+def test_compute_parity_matches_byte_loop(case):
+    unit_size, units = case
+    expected = _parity_reference(units, unit_size)
+    assert compute_parity(units, unit_size) == expected
+    assert compute_parity([memoryview(u) for u in units],
+                          unit_size) == expected
+
+
+@given(st.integers(min_value=1, max_value=64).flatmap(
+    lambda unit: st.tuples(
+        st.just(unit),
+        st.lists(st.binary(min_size=unit, max_size=unit),
+                 min_size=2, max_size=5),
+        st.data())))
+def test_reconstruct_matches_byte_loop(case):
+    unit_size, units, data = case
+    parity = compute_parity(units, unit_size)
+    missing = data.draw(st.integers(0, len(units) - 1))
+    survivors = units[:missing] + units[missing + 1:]
+    rebuilt = reconstruct_unit(survivors, parity, unit_size)
+    assert rebuilt == units[missing]
+    assert reconstruct_unit([memoryview(u) for u in survivors],
+                            memoryview(parity), unit_size) == rebuilt
+
+
+@given(st.integers(min_value=1, max_value=64).flatmap(
+    lambda unit: st.tuples(
+        st.just(unit),
+        st.binary(max_size=unit),   # old content of the updated unit
+        st.binary(max_size=unit),   # new content (may differ in length!)
+        st.lists(st.binary(max_size=unit), min_size=1, max_size=4))))
+def test_update_parity_matches_recompute(case):
+    """parity ^= old ^ new == recomputing the stripe from scratch.
+
+    Lengths of old and new are drawn independently, covering the uneven
+    final-stripe case: a short trailing unit growing (or shrinking) under
+    the update.  The regression this pins: the padding of short deltas is
+    folded into the word-wise XOR, and must behave exactly as the old
+    explicit ljust did.
+    """
+    unit_size, old_unit, new_unit, siblings = case
+    old_parity = compute_parity(siblings + [old_unit], unit_size)
+    updated = update_parity(old_unit, new_unit, old_parity, unit_size)
+    assert updated == compute_parity(siblings + [new_unit], unit_size)
+    assert update_parity(memoryview(old_unit), memoryview(new_unit),
+                         memoryview(old_parity), unit_size) == updated
+
+
+def test_update_parity_uneven_final_stripe_regression():
+    """The concrete §2 shape: the object's last stripe is short, and a
+    write extends its trailing unit.  Parity must track the recompute."""
+    unit_size = 8
+    full = bytes(range(8))
+    short_old = b"\x10\x20"            # trailing unit before the write
+    short_new = b"\x10\x20\x30\x40\x50"  # grown by the write, still short
+    parity = compute_parity([full, short_old], unit_size)
+    updated = update_parity(short_old, short_new, parity, unit_size)
+    assert updated == compute_parity([full, short_new], unit_size)
+    # And shrinking back must round-trip.
+    assert update_parity(short_new, short_old, updated,
+                         unit_size) == parity
+
+
+def test_empty_inputs_through_every_kernel():
+    assert xor_bytes(b"", b"") == b""
+    assert compute_parity([b""], 4) == b"\x00" * 4
+    assert update_parity(b"", b"", b"\x00" * 4, 4) == b"\x00" * 4
+    assert reconstruct_unit([], b"\xaa" * 4, 4) == b"\xaa" * 4
