@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test lint bench bench-full bench-smoke tables figures examples clean
+.PHONY: install test lint check-model check-model-full bench bench-full bench-smoke tables figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -20,6 +20,14 @@ lint:
 	else \
 		echo "ruff not installed; skipping style pass"; \
 	fi
+
+# Bounded protocol model-checking smoke (~7 s, ~240k states): the CI gate.
+check-model:
+	$(PYTHON) -m repro check --model --retransmits 1
+
+# Full default bounds (~25 s, ~750k states): the nightly/manual target.
+check-model-full:
+	$(PYTHON) -m repro check --model
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -31,20 +31,38 @@ defence:
   constants; run with ``python -m repro check --units``.
 * :mod:`repro.check.conserve` — a runtime byte-conservation ledger over
   the striped data path, fed by the engine's transfer-monitor hook.
+* :mod:`repro.check.model` — an explicit-state bounded model checker:
+  composes each client machine of :mod:`repro.check.spec` with its
+  agent-side peer and an adversarial network
+  (:mod:`repro.check.adversary` — drop, duplicate, reorder, crash,
+  stale replies) and exhaustively explores every interleaving up to the
+  configured bounds; run with ``python -m repro check --model``.
 
 Run everything from the command line::
 
     python -m repro check [--json]
     python -m repro check --races [--json]
     python -m repro check --units [paths ...] [--json]
+    python -m repro check --model [--depth N] [--retransmits K]
 
 which exits non-zero when any violation is found.  Individual lint findings
 can be suppressed with a ``# repro: allow[rule-id]`` comment on the
 offending line (or the line above); see docs/CHECKING.md.
 """
 
+from .adversary import AdversaryBudget
 from .findings import Finding, Severity
 from .hb import RaceDetector, RaceError, RaceReport, detect_races
+from .model import (
+    ModelConfig,
+    ModelStats,
+    PairModel,
+    ReadModel,
+    SemanticFlags,
+    WriteModel,
+    check_model,
+    explore,
+)
 from .lint import LintEngine, Rule, iter_python_files
 from .perturb import (
     PerturbationReport,
@@ -83,6 +101,15 @@ __all__ = [
     "ConservationLedger",
     "conserve",
     "check_protocol",
+    "AdversaryBudget",
+    "ModelConfig",
+    "ModelStats",
+    "PairModel",
+    "ReadModel",
+    "SemanticFlags",
+    "WriteModel",
+    "check_model",
+    "explore",
     "render_text",
     "render_json",
     "run_check",

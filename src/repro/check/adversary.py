@@ -1,0 +1,70 @@
+"""The adversarial network model for the protocol model checker.
+
+The checker composes two protocol endpoints with a network the adversary
+controls.  Channels are *multisets* of in-flight messages (represented
+as sorted tuples, so reorderings collapse into one state and delivery of
+any in-flight message is always enabled — reordering and delay are
+implicit, not separate actions).  On top of delivery the adversary may,
+within budgets:
+
+* **drop** any in-flight message;
+* **duplicate** any in-flight message (buffer capacity permitting);
+* **crash** the agent (its volatile per-op state is lost; in-flight
+  messages survive in the network) and later **restart** it fresh;
+* **inject a stale message** from a prior session (an old op_id/seq)
+  into either channel.
+
+Budgets keep the state space finite; the bounds are reported alongside
+the result so "exhausted" is always relative to explicit limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AdversaryBudget", "channel_add", "channel_remove",
+           "channel_items"]
+
+
+@dataclass(frozen=True)
+class AdversaryBudget:
+    """Bounds on adversarial behaviour during one exploration.
+
+    ``channel_capacity`` models the finite socket buffers: a send into a
+    full channel is silently lost, exactly like the DES host's rx-queue
+    overflow, and does not consume the drop budget.
+    """
+
+    max_drops: int = 2
+    max_duplicates: int = 1
+    max_crashes: int = 1
+    max_stale: int = 1
+    channel_capacity: int = 2
+
+    def describe(self) -> str:
+        return (f"drops<={self.max_drops} dups<={self.max_duplicates} "
+                f"crashes<={self.max_crashes} stale<={self.max_stale} "
+                f"buffer={self.channel_capacity}")
+
+
+def channel_add(channel: tuple, message, capacity: int) -> tuple:
+    """Add ``message`` to the multiset; a full channel drops it silently."""
+    if len(channel) >= capacity:
+        return channel
+    return tuple(sorted(channel + (message,), key=repr))
+
+
+def channel_remove(channel: tuple, message) -> tuple:
+    """Remove one copy of ``message`` (which must be present)."""
+    items = list(channel)
+    items.remove(message)
+    return tuple(items)
+
+
+def channel_items(channel: tuple) -> tuple:
+    """The distinct messages in flight (each deliverable/droppable)."""
+    seen = []
+    for message in channel:
+        if message not in seen:
+            seen.append(message)
+    return tuple(seen)

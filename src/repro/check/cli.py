@@ -6,7 +6,10 @@ import argparse
 import sys
 from pathlib import Path
 
+from .adversary import AdversaryBudget
+from .findings import Severity
 from .lint import LintEngine, iter_python_files
+from .model import ModelConfig, check_model, scenario_names
 from .protocol import check_protocol
 from .races import race_rule_registry
 from .report import exit_code, render_json, render_text
@@ -50,6 +53,28 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
         help="run the dimensional-analysis lints (unit-mismatch, "
              "unit-bitbyte, unit-magic) instead of the determinism pass; "
              "audits the given paths (or --root, or the installed package)")
+    parser.add_argument(
+        "--model", action="store_true",
+        help="run the protocol model checker: exhaustively explore the "
+             "spec machines composed with an adversarial network (drop, "
+             "duplicate, reorder, crash, stale replies) up to the "
+             "configured bounds")
+    parser.add_argument(
+        "--depth", type=int, default=60,
+        help="model: maximum schedule length to explore (default 60; "
+             "the run reports whether the space was exhausted)")
+    parser.add_argument(
+        "--retransmits", type=int, default=2,
+        help="model: client retransmit budget K — every transfer must "
+             "complete or cleanly abort within K retransmits (default 2)")
+    parser.add_argument(
+        "--scenarios", default=None,
+        help="model: comma-separated scenario names to run "
+             f"(default: all of {', '.join(scenario_names())})")
+    parser.add_argument(
+        "--fail-on", choices=("error", "warning"), default="error",
+        help="severity threshold for a nonzero exit: 'error' (default) "
+             "fails only on errors, 'warning' fails on any finding")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit")
@@ -100,6 +125,31 @@ def _race_roots(args) -> list[Path]:
             if (package / name).exists()]
 
 
+def _fail_threshold(args) -> Severity:
+    return (Severity.WARNING if getattr(args, "fail_on", "error") == "warning"
+            else Severity.ERROR)
+
+
+def _run_model(args) -> int:
+    scenarios = ()
+    if args.scenarios:
+        scenarios = tuple(piece.strip() for piece in args.scenarios.split(",")
+                          if piece.strip())
+    config = ModelConfig(max_depth=args.depth,
+                         retransmit_bound=args.retransmits,
+                         budget=AdversaryBudget(),
+                         scenarios=scenarios)
+    try:
+        findings, stats = check_model(config)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    if args.json:
+        print(render_json(findings, model_stats=stats))
+    else:
+        print(render_text(findings, model_stats=stats))
+    return exit_code(findings, fail_on=_fail_threshold(args))
+
+
 def _run_races(args) -> int:
     registry = race_rule_registry()
     rules = _selected_rules(args.rules, registry)
@@ -116,7 +166,7 @@ def _run_races(args) -> int:
         print(render_json(findings, checked_paths=checked))
     else:
         print(render_text(findings, checked_paths=checked))
-    return exit_code(findings)
+    return exit_code(findings, fail_on=_fail_threshold(args))
 
 
 def _unit_roots(args) -> list[Path]:
@@ -148,7 +198,7 @@ def _run_units(args) -> int:
         print(render_json(findings, checked_paths=checked))
     else:
         print(render_text(findings, checked_paths=checked))
-    return exit_code(findings)
+    return exit_code(findings, fail_on=_fail_threshold(args))
 
 
 def run_check_command(args) -> int:
@@ -168,7 +218,22 @@ def run_check_command(args) -> int:
               "receive on the other side")
         print(f"{'protocol-timeout':<18} lossy-transport waits are "
               "timeout-guarded")
+        print(f"{'protocol-conformance':<18} spec machine edges match "
+              "implemented send/recv edges both ways")
+        print(f"{'model-deadlock':<18} no stuck composite state "
+              "[--model]")
+        print(f"{'model-unhandled':<18} every delivered message has a "
+              "transition or an ignore rule [--model]")
+        print(f"{'model-livelock':<18} every transfer completes or "
+              "cleanly aborts within the retransmit bound [--model]")
+        print(f"{'model-safety':<18} no byte lost or duplicated "
+              "(conservation contract) [--model]")
+        print(f"{'model-conformance':<18} semantic models simulate "
+              "exactly the spec machines' edges [--model]")
         return 0
+
+    if args.model:
+        return _run_model(args)
 
     if args.races:
         return _run_races(args)
@@ -199,7 +264,7 @@ def run_check_command(args) -> int:
         print(render_json(findings, checked_paths=checked))
     else:
         print(render_text(findings, checked_paths=checked))
-    return exit_code(findings)
+    return exit_code(findings, fail_on=_fail_threshold(args))
 
 
 def main(argv: list[str] | None = None) -> int:

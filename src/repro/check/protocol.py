@@ -22,7 +22,13 @@ The verification then checks, against :mod:`repro.check.spec`:
 * no side sends a message the spec does not allow it to send;
 * replies over the lossy transport are awaited with a timeout guard;
 * the state machines themselves are sound: all states reachable, no trap
-  states, and every state that awaits a reply has a timeout edge.
+  states, and every state that awaits a *reply* has a timeout edge
+  (servers may await requests forever);
+* machine/code conformance in both directions: every ``send``/``recv``
+  edge of a machine has evidence in its side's sources, and every
+  extracted send/receive appears as an edge of some machine of that
+  side — no unimplemented spec edge, no spec-free code edge.  Both ends
+  of every exchange must be covered by a machine of the right side.
 """
 
 from __future__ import annotations
@@ -33,7 +39,13 @@ from pathlib import Path
 from typing import Iterable, Optional
 
 from .findings import Finding
-from .spec import EXCHANGES, MACHINES, StateMachine, spec_message_names
+from .spec import (
+    EXCHANGES,
+    MACHINES,
+    StateMachine,
+    reply_message_names,
+    spec_message_names,
+)
 
 __all__ = ["check_protocol", "extract_side", "extract_vocabulary",
            "ProtocolSide"]
@@ -203,17 +215,129 @@ def _check_machine(machine: StateMachine, spec_path: Path) -> list[Finding]:
             findings.append(finding(
                 f"state {state} cannot reach a terminal state"))
 
-    # Lossy transport: any state that awaits a recv needs a timeout edge.
+    # Events must be well-formed.
+    for transition in machine.transitions:
+        event = transition.event
+        if not (event in ("timeout", "internal")
+                or event.startswith(("send ", "recv "))):
+            findings.append(finding(
+                f"malformed event {event!r} on edge "
+                f"{transition.source} -> {transition.target}"))
+
+    # Lossy transport: a state that awaits a *reply* needs a timeout
+    # edge.  A server's listen state awaits requests and may block
+    # forever; only reply waits can wedge a transfer on loss.
+    replies = reply_message_names()
     for state in sorted(machine.states - machine.terminals):
         edges = machine.edges_from(state)
-        awaits = any(t.event.startswith("recv ") for t in edges)
+        awaits_reply = any(
+            t.event.startswith("recv ")
+            and t.event.split(" ", 1)[1] in replies
+            for t in edges)
         has_timeout = any(t.event == "timeout" for t in edges)
-        if awaits and not has_timeout:
+        if awaits_reply and not has_timeout:
             findings.append(finding(
                 f"state {state} awaits a reply but has no timeout edge"))
         if not edges and state not in machine.terminals:
             findings.append(finding(
                 f"non-terminal state {state} has no outgoing edges"))
+    return findings
+
+
+# -- machine/code conformance -------------------------------------------------
+
+
+def _machine_edge_events(side_name: str) -> tuple[dict[str, str],
+                                                  dict[str, str]]:
+    """(sends, receives): message name -> machine name, for one side."""
+    sends: dict[str, str] = {}
+    receives: dict[str, str] = {}
+    for machine in MACHINES:
+        if machine.side != side_name:
+            continue
+        for transition in machine.transitions:
+            if transition.event.startswith("send "):
+                sends.setdefault(transition.event.split(" ", 1)[1],
+                                 machine.name)
+            elif transition.event.startswith("recv "):
+                receives.setdefault(transition.event.split(" ", 1)[1],
+                                    machine.name)
+    return sends, receives
+
+
+def _check_conformance(client: ProtocolSide, agent: ProtocolSide,
+                       defined: frozenset[str],
+                       spec_path: Path) -> list[Finding]:
+    """Spec machines vs extracted code edges, in both directions."""
+    findings: list[Finding] = []
+
+    def conformance(message: str) -> Finding:
+        return Finding(rule_id="protocol-conformance", path=spec_path,
+                       line=1, message=message)
+
+    sides = (("client", client), ("agent", agent))
+    for side_name, code in sides:
+        spec_sends, spec_receives = _machine_edge_events(side_name)
+        # Direction 1: every machine edge is implemented.
+        for name, machine_name in sorted(spec_sends.items()):
+            if name in defined and name not in code.sends:
+                findings.append(conformance(
+                    f"machine {machine_name} has edge 'send {name}' but "
+                    f"the {side_name} sources never construct {name}"))
+        for name, machine_name in sorted(spec_receives.items()):
+            if name in defined and name not in code.receives:
+                findings.append(conformance(
+                    f"machine {machine_name} has edge 'recv {name}' but "
+                    f"the {side_name} sources never dispatch on {name}"))
+        # Direction 2: every code edge appears in some machine.
+        for name in sorted(set(code.sends) & defined):
+            if name not in spec_sends:
+                findings.append(conformance(
+                    f"{side_name} code sends {name} but no {side_name} "
+                    f"machine has a 'send {name}' edge"))
+        for name in sorted(set(code.receives) & defined):
+            if name not in spec_receives:
+                findings.append(conformance(
+                    f"{side_name} code dispatches on {name} but no "
+                    f"{side_name} machine has a 'recv {name}' edge"))
+
+    # Client timeout edges are implemented as recv_wait guards: a state
+    # with a timeout edge that also awaits messages must await them
+    # under a guard.
+    for machine in MACHINES:
+        if machine.side != "client":
+            continue
+        for state in machine.states:
+            edges = machine.edges_from(state)
+            if not any(t.event == "timeout" for t in edges):
+                continue
+            for transition in edges:
+                if not transition.event.startswith("recv "):
+                    continue
+                name = transition.event.split(" ", 1)[1]
+                if name in defined and name not in client.guarded:
+                    findings.append(conformance(
+                        f"machine {machine.name} state {state} pairs a "
+                        f"timeout edge with 'recv {name}' but the client "
+                        f"never awaits {name} under a recv_wait guard"))
+
+    # Every exchange end is covered by a machine of the right side.
+    client_sends, client_receives = _machine_edge_events("client")
+    agent_sends, agent_receives = _machine_edge_events("agent")
+    for exchange in EXCHANGES:
+        if exchange.request not in client_sends:
+            findings.append(conformance(
+                f"no client machine sends {exchange.request}"))
+        if exchange.request not in agent_receives:
+            findings.append(conformance(
+                f"no agent machine receives {exchange.request}"))
+        for reply in exchange.replies:
+            if reply not in agent_sends:
+                findings.append(conformance(
+                    f"no agent machine sends {reply}"))
+            if reply not in client_receives:
+                findings.append(conformance(
+                    f"no client machine receives {reply}"))
     return findings
 
 
@@ -256,6 +380,8 @@ def check_protocol(root: Path) -> list[Finding]:
     client = extract_side((root / rel for rel in CLIENT_SOURCES), defined)
     agent = extract_side([root / AGENT_SOURCE], defined)
     agent_path = root / AGENT_SOURCE
+
+    findings.extend(_check_conformance(client, agent, defined, spec_path))
 
     allowed_requests = {e.request for e in EXCHANGES}
     allowed_replies = {name for e in EXCHANGES for name in e.replies}

@@ -13,18 +13,28 @@ __all__ = ["render_text", "render_json", "exit_code"]
 REPORT_FORMAT_VERSION = 1
 
 
-def exit_code(findings: Sequence[Finding]) -> int:
-    """0 when no error-severity findings, 1 otherwise."""
+def exit_code(findings: Sequence[Finding],
+              fail_on: Severity = Severity.ERROR) -> int:
+    """0 when no finding at or above the ``fail_on`` threshold.
+
+    The default fails on errors only; ``fail_on=Severity.WARNING`` makes
+    any finding fatal (for CI lanes that gate on a clean report).
+    """
+    if fail_on is Severity.WARNING:
+        return 1 if findings else 0
     return 1 if any(f.severity is Severity.ERROR for f in findings) else 0
 
 
-def render_text(findings: Sequence[Finding], checked_paths: int = 0) -> str:
+def render_text(findings: Sequence[Finding], checked_paths: int = 0,
+                model_stats=None) -> str:
     """Editor-clickable one-line-per-finding report with a summary."""
     lines = [finding.format() for finding in findings]
     errors = sum(1 for f in findings if f.severity is Severity.ERROR)
     warnings = len(findings) - errors
     if findings:
         lines.append("")
+    if model_stats is not None:
+        lines.append(model_stats.render_text())
     summary = f"{errors} error(s), {warnings} warning(s)"
     if checked_paths:
         summary += f" across {checked_paths} file(s)"
@@ -32,7 +42,8 @@ def render_text(findings: Sequence[Finding], checked_paths: int = 0) -> str:
     return "\n".join(lines)
 
 
-def render_json(findings: Sequence[Finding], checked_paths: int = 0) -> str:
+def render_json(findings: Sequence[Finding], checked_paths: int = 0,
+                model_stats=None) -> str:
     """The ``repro check --json`` report (one JSON object, stable keys)."""
     by_rule: dict[str, int] = {}
     for finding in findings:
@@ -50,4 +61,6 @@ def render_json(findings: Sequence[Finding], checked_paths: int = 0) -> str:
             "by_rule": dict(sorted(by_rule.items())),
         },
     }
+    if model_stats is not None:
+        payload["model"] = model_stats.to_dict()
     return json.dumps(payload, indent=2, sort_keys=False)

@@ -334,6 +334,146 @@ class ImplicitSeedRule(Rule):
                         "to pass one")
 
 
+# -- transport-readiness rules ------------------------------------------------
+#
+# The asyncio sockets backend will run the same protocol code over real
+# UDP, where an unguarded wait hangs forever, an unbounded retransmit
+# loop floods the network, and a unit-less timeout constant invites a
+# 1000x mix-up.  These rules keep the protocol code honest before the
+# backend lands.
+
+
+class RecvUnguardedRule(Rule):
+    """Every receive over the lossy transport must be timeout-guarded.
+
+    ``yield sock.recv()`` blocks forever if the datagram was dropped;
+    client-side code must use ``recv_wait(timeout_s, ...)``.  A server's
+    accept loop may legitimately block for the next request — those
+    files carry the exemption.
+    """
+
+    rule_id = "recv-unguarded"
+    summary = "bare `yield sock.recv()` with no timeout guard"
+    exempt_suffixes = ("core/storage_agent.py", "baselines/nfs.py")
+
+    def check(self, tree: ast.Module, path: Path) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Yield) or node.value is None:
+                continue
+            call = node.value
+            if (isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)
+                    and call.func.attr == "recv"):
+                yield self.finding(
+                    path, node,
+                    "bare `yield .recv()` blocks forever on datagram "
+                    "loss; use recv_wait(timeout_s, ...) with a bound")
+
+
+class RetransmitUnboundedRule(Rule):
+    """Retransmit loops need an attempt bound.
+
+    A ``while True`` loop around a ``recv_wait`` retries forever when
+    the peer is gone: over real sockets that is an unkillable flood.
+    Loop over ``range(max_retries)`` and surface the failure.
+    """
+
+    rule_id = "retransmit-unbounded"
+    summary = "`while True` retransmit loop without an attempt bound"
+
+    def check(self, tree: ast.Module, path: Path) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.While)
+                    and isinstance(node.test, ast.Constant)
+                    and node.test.value is True):
+                continue
+            for inner in ast.walk(node):
+                if (isinstance(inner, ast.Call)
+                        and isinstance(inner.func, ast.Attribute)
+                        and inner.func.attr == "recv_wait"):
+                    yield self.finding(
+                        path, node,
+                        "`while True` around recv_wait retries without "
+                        "bound; loop over range(max_retries) and raise "
+                        "on exhaustion")
+                    break
+
+
+class TimeoutUnitRule(Rule):
+    """Timeout constants carry their unit in the name.
+
+    A bare ``timeout = 5`` leaves seconds-vs-milliseconds to the
+    reader; every timeout bound to a numeric literal must spell its
+    unit (``_s``, ``_ms``, ``_us``, ``_ns``) so the future asyncio
+    backend cannot misread a DES constant.
+    """
+
+    rule_id = "timeout-unit"
+    summary = "timeout constant without a unit suffix in its name"
+
+    _UNIT_SUFFIXES = ("_s", "_ms", "_us", "_ns")
+
+    def _is_bad_name(self, name: str) -> bool:
+        lowered = name.lower()
+        if not (lowered == "timeout" or lowered.endswith("_timeout")
+                or lowered.startswith("timeout_")):
+            return False
+        return not lowered.endswith(self._UNIT_SUFFIXES)
+
+    def _is_number(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, (int, float)) and not isinstance(
+                node.value, bool)
+        if isinstance(node, ast.UnaryOp) and isinstance(
+                node.op, (ast.USub, ast.UAdd)):
+            return self._is_number(node.operand)
+        return False
+
+    def check(self, tree: ast.Module, path: Path) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and self._is_number(node.value):
+                for target in node.targets:
+                    if (isinstance(target, ast.Name)
+                            and self._is_bad_name(target.id)):
+                        yield self.finding(
+                            path, target,
+                            f"`{target.id}` bound to a bare number: name "
+                            "the unit (e.g. `timeout_s`)")
+            elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                    and self._is_number(node.value):
+                if (isinstance(node.target, ast.Name)
+                        and self._is_bad_name(node.target.id)):
+                    yield self.finding(
+                        path, node.target,
+                        f"`{node.target.id}` bound to a bare number: name "
+                        "the unit (e.g. `timeout_s`)")
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                arguments = node.args
+                positional = arguments.posonlyargs + arguments.args
+                pairs = list(zip(
+                    positional[len(positional) - len(arguments.defaults):],
+                    arguments.defaults))
+                pairs.extend(
+                    (arg, default) for arg, default
+                    in zip(arguments.kwonlyargs, arguments.kw_defaults)
+                    if default is not None)
+                for arg, default in pairs:
+                    if self._is_bad_name(arg.arg) and self._is_number(default):
+                        yield self.finding(
+                            path, default,
+                            f"parameter `{arg.arg}` defaults to a bare "
+                            "number: name the unit (e.g. `timeout_s`)")
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if (keyword.arg is not None
+                            and self._is_bad_name(keyword.arg)
+                            and self._is_number(keyword.value)):
+                        yield self.finding(
+                            path, keyword.value,
+                            f"keyword `{keyword.arg}` passed a bare "
+                            "number: name the unit (e.g. `timeout_s`)")
+
+
 #: Rule classes in reporting order; instantiate to get a default rule set.
 DEFAULT_RULES = (
     RawRandomRule,
@@ -343,6 +483,9 @@ DEFAULT_RULES = (
     SetIterationRule,
     SaltedHashRule,
     ImplicitSeedRule,
+    RecvUnguardedRule,
+    RetransmitUnboundedRule,
+    TimeoutUnitRule,
 )
 
 

@@ -1,26 +1,43 @@
 """Declarative spec of the Swift transfer protocol (docs/PROTOCOL.md).
 
-Two views of the same machine:
+Three views of the same protocol:
 
 * :data:`EXCHANGES` — the request/reply vocabulary: which message class
   the client sends, what the agent may answer, on which port, and whether
   the client's wait must be timeout-guarded (every wait over the lossy
   datagram transport must be).
-* :data:`MACHINES` — the client-side state machines for the read and
-  write (ACK/NAK/retransmit) paths, as (state, event, state) transitions.
-  Events are ``send <Msg>``, ``recv <Msg>`` or ``timeout``.
+* :data:`CLIENT_MACHINES` — the client-side state machines for the read,
+  write (ACK/NAK/retransmit) and control-port paths, as (state, event,
+  state) transitions.  Events are ``send <Msg>``, ``recv <Msg>``,
+  ``timeout`` or ``internal`` (a silent step).
+* :data:`AGENT_MACHINES` — the agent-side machines: the read server, the
+  write server (packet collection, the stall watchdog, the status-query
+  re-ACK), the control-port server for the namespace operations, and the
+  per-file session server that handles CLOSE.
+
+:data:`MACHINES` is the union.  Every machine declares which ``side`` of
+the wire it models, which states are ``transient`` (the side holds the
+floor and must act before consuming further input — e.g. an agent that
+has just received the final packet and owes an ACK), and which messages
+it may silently ``ignore`` in states without a matching edge (each one
+justified by a concrete filter in the implementation: request_id/op_id/
+seq predicates, the unknown-op guard, closed ports).
 
 :mod:`repro.check.protocol` verifies the implementation against the
 exchanges and the machines against themselves (reachability, no trap
-states, timeout edges wherever a reply is awaited).
+states, timeout edges wherever a *reply* is awaited — servers may wait
+for requests forever).  :mod:`repro.check.model` composes a client
+machine with its agent peer and model-checks the pair under an
+adversarial network.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-__all__ = ["Exchange", "Transition", "StateMachine", "EXCHANGES", "MACHINES",
-           "spec_message_names"]
+__all__ = ["Exchange", "Transition", "StateMachine", "EXCHANGES",
+           "CLIENT_MACHINES", "AGENT_MACHINES", "MACHINES", "MACHINE_PAIRS",
+           "spec_message_names", "reply_message_names", "machine_by_name"]
 
 
 @dataclass(frozen=True)
@@ -36,21 +53,33 @@ class Exchange:
 
 @dataclass(frozen=True)
 class Transition:
-    """One edge of a client-side state machine."""
+    """One edge of a protocol state machine."""
 
     source: str
-    event: str                  # "send X" | "recv X" | "timeout"
+    event: str                  # "send X" | "recv X" | "timeout" | "internal"
     target: str
 
 
 @dataclass(frozen=True)
 class StateMachine:
-    """A named machine with an initial state and terminal states."""
+    """A named machine with an initial state and terminal states.
+
+    ``side`` is ``"client"`` or ``"agent"``.  ``transient`` states are
+    reaction points: the machine entered them by consuming an input and
+    must take one of its own edges (typically a send) before any further
+    input is dispatched to it.  ``ignores`` lists messages the side may
+    silently drop in states without a matching ``recv`` edge — each name
+    here asserts the implementation filters that message (by request_id,
+    op_id, seq, the unknown-op guard, or a closed port).
+    """
 
     name: str
     initial: str
     terminals: frozenset[str]
     transitions: tuple[Transition, ...]
+    side: str = "client"
+    transient: frozenset[str] = field(default_factory=frozenset)
+    ignores: frozenset[str] = field(default_factory=frozenset)
 
     @property
     def states(self) -> frozenset[str]:
@@ -60,8 +89,28 @@ class StateMachine:
             found.add(transition.target)
         return frozenset(found)
 
+    @property
+    def resting(self) -> frozenset[str]:
+        """States where the machine may legitimately sit forever.
+
+        Terminals plus the initial state: a server's listen state is a
+        valid place to rest even though it is not "done".
+        """
+        return self.terminals | {self.initial}
+
     def edges_from(self, state: str) -> tuple[Transition, ...]:
         return tuple(t for t in self.transitions if t.source == state)
+
+    def without_edge(self, source: str, event: str) -> "StateMachine":
+        """A mutated copy missing one edge (for model-checker tests)."""
+        kept = tuple(t for t in self.transitions
+                     if not (t.source == source and t.event == event))
+        if len(kept) == len(self.transitions):
+            raise ValueError(f"{self.name} has no edge ({source}, {event})")
+        return StateMachine(
+            name=f"{self.name}-mutant", initial=self.initial,
+            terminals=self.terminals, transitions=kept, side=self.side,
+            transient=self.transient, ignores=self.ignores)
 
 
 #: The protocol vocabulary, straight from docs/PROTOCOL.md.
@@ -81,7 +130,8 @@ EXCHANGES: tuple[Exchange, ...] = (
     Exchange("ListRequest", ("ListReply",), "control", True),
 )
 
-#: §3.1 read path: single outstanding request, resubmit on loss.
+#: §3.1 read path: single outstanding request, resubmit on loss.  Stale
+#: data packets (older seq) are purged/filtered, hence ignorable.
 READ_MACHINE = StateMachine(
     name="read",
     initial="IDLE",
@@ -91,10 +141,13 @@ READ_MACHINE = StateMachine(
         Transition("WAIT_DATA", "recv DataPacket", "DONE"),
         Transition("WAIT_DATA", "timeout", "IDLE"),
     ),
+    side="client",
+    ignores=frozenset({"DataPacket"}),
 )
 
 #: §3.1 write path: announce, stream, await ACK; NAK → retransmit; ACK
-#: timeout → status query (a re-sent WRITE-REQ).
+#: timeout → status query (a re-sent WRITE-REQ).  Replies for other ops
+#: are filtered by op_id, hence ignorable.
 WRITE_MACHINE = StateMachine(
     name="write",
     initial="IDLE",
@@ -108,9 +161,154 @@ WRITE_MACHINE = StateMachine(
         Transition("STREAMING", "timeout", "QUERY"),
         Transition("QUERY", "send WriteRequest", "STREAMING"),
     ),
+    side="client",
+    transient=frozenset({"ANNOUNCED", "QUERY"}),
+    ignores=frozenset({"WriteAck", "WriteNak"}),
 )
 
-MACHINES: tuple[StateMachine, ...] = (READ_MACHINE, WRITE_MACHINE)
+
+def _client_control_machine(name: str, request: str, reply: str,
+                            best_effort: bool = False) -> StateMachine:
+    """A control-port client: send, await the reply, retry on timeout.
+
+    ``best_effort`` models CLOSE: one short wait, a timeout gives up
+    (DONE) instead of retrying.  Duplicate replies are filtered by
+    request_id (handle for CLOSE), hence ignorable.
+    """
+    return StateMachine(
+        name=name,
+        initial="IDLE",
+        terminals=frozenset({"DONE"}),
+        transitions=(
+            Transition("IDLE", f"send {request}", "WAIT"),
+            Transition("WAIT", f"recv {reply}", "DONE"),
+            Transition("WAIT", "timeout", "DONE" if best_effort else "IDLE"),
+        ),
+        side="client",
+        ignores=frozenset({reply}),
+    )
+
+
+OPEN_MACHINE = _client_control_machine("open", "OpenRequest", "OpenReply")
+CLOSE_MACHINE = _client_control_machine("close", "CloseRequest", "CloseReply",
+                                        best_effort=True)
+REMOVE_MACHINE = _client_control_machine("remove", "RemoveRequest",
+                                         "RemoveReply")
+STAT_MACHINE = _client_control_machine("stat", "StatRequest", "StatReply")
+LIST_MACHINE = _client_control_machine("list", "ListRequest", "ListReply")
+
+CLIENT_MACHINES: tuple[StateMachine, ...] = (
+    READ_MACHINE, WRITE_MACHINE, OPEN_MACHINE, CLOSE_MACHINE,
+    REMOVE_MACHINE, STAT_MACHINE, LIST_MACHINE,
+)
+
+#: Agent read server: stateless request/reply, re-serves duplicates.
+READ_SERVER_MACHINE = StateMachine(
+    name="read-server",
+    initial="LISTEN",
+    terminals=frozenset({"LISTEN"}),
+    transitions=(
+        Transition("LISTEN", "recv ReadRequest", "SERVING"),
+        Transition("SERVING", "send DataPacket", "LISTEN"),
+    ),
+    side="agent",
+    transient=frozenset({"SERVING"}),
+)
+
+#: Agent write server: collect announced packets; the stall watchdog
+#: NAKs the missing indices; a duplicate WRITE-REQ is a status query
+#: (NAK while incomplete, re-ACK once applied); late/unknown-op data is
+#: dropped by the unknown-op and applied guards, hence WriteData is
+#: ignorable in states without an edge (IDLE after a restart).
+WRITE_SERVER_MACHINE = StateMachine(
+    name="write-server",
+    initial="IDLE",
+    terminals=frozenset({"APPLIED"}),
+    transitions=(
+        Transition("IDLE", "recv WriteRequest", "COLLECT"),
+        Transition("COLLECT", "recv WriteData", "DECIDE"),
+        Transition("DECIDE", "internal", "COLLECT"),
+        Transition("DECIDE", "send WriteAck", "APPLIED"),
+        Transition("COLLECT", "timeout", "NAKKING"),
+        Transition("COLLECT", "recv WriteRequest", "NAKKING"),
+        Transition("NAKKING", "send WriteNak", "COLLECT"),
+        Transition("APPLIED", "recv WriteRequest", "REACK"),
+        Transition("REACK", "send WriteAck", "APPLIED"),
+        Transition("APPLIED", "recv WriteData", "APPLIED"),
+    ),
+    side="agent",
+    transient=frozenset({"DECIDE", "NAKKING", "REACK"}),
+    ignores=frozenset({"WriteData"}),
+)
+
+
+def _agent_server_machine(name: str, request: str, reply: str) -> StateMachine:
+    """A control-port server: serve one request, reply, listen again."""
+    return StateMachine(
+        name=name,
+        initial="LISTEN",
+        terminals=frozenset({"LISTEN"}),
+        transitions=(
+            Transition("LISTEN", f"recv {request}", "REPLYING"),
+            Transition("REPLYING", f"send {reply}", "LISTEN"),
+        ),
+        side="agent",
+        transient=frozenset({"REPLYING"}),
+    )
+
+
+OPEN_SERVER_MACHINE = _agent_server_machine("open-server", "OpenRequest",
+                                            "OpenReply")
+REMOVE_SERVER_MACHINE = _agent_server_machine("remove-server", "RemoveRequest",
+                                              "RemoveReply")
+STAT_SERVER_MACHINE = _agent_server_machine("stat-server", "StatRequest",
+                                            "StatReply")
+LIST_SERVER_MACHINE = _agent_server_machine("list-server", "ListRequest",
+                                            "ListReply")
+
+#: The per-file session server: CLOSE expires the handle and releases
+#: the private port; a duplicate CLOSE hits a closed port and is dropped
+#: by the host, hence ignorable.
+SESSION_SERVER_MACHINE = StateMachine(
+    name="session-server",
+    initial="OPEN",
+    terminals=frozenset({"CLOSED"}),
+    transitions=(
+        Transition("OPEN", "recv CloseRequest", "CLOSING"),
+        Transition("CLOSING", "send CloseReply", "CLOSED"),
+    ),
+    side="agent",
+    transient=frozenset({"CLOSING"}),
+    ignores=frozenset({"CloseRequest"}),
+)
+
+AGENT_MACHINES: tuple[StateMachine, ...] = (
+    READ_SERVER_MACHINE, WRITE_SERVER_MACHINE, OPEN_SERVER_MACHINE,
+    REMOVE_SERVER_MACHINE, STAT_SERVER_MACHINE, LIST_SERVER_MACHINE,
+    SESSION_SERVER_MACHINE,
+)
+
+MACHINES: tuple[StateMachine, ...] = CLIENT_MACHINES + AGENT_MACHINES
+
+#: Which client machine talks to which agent machine (the model
+#: checker composes each pair under the adversarial network).
+MACHINE_PAIRS: tuple[tuple[str, str], ...] = (
+    ("read", "read-server"),
+    ("write", "write-server"),
+    ("open", "open-server"),
+    ("close", "session-server"),
+    ("remove", "remove-server"),
+    ("stat", "stat-server"),
+    ("list", "list-server"),
+)
+
+
+def machine_by_name(name: str) -> StateMachine:
+    """Look a machine up by its spec name."""
+    for machine in MACHINES:
+        if machine.name == name:
+            return machine
+    raise KeyError(name)
 
 
 def spec_message_names() -> frozenset[str]:
@@ -124,3 +322,14 @@ def spec_message_names() -> frozenset[str]:
             if transition.event.startswith(("send ", "recv ")):
                 names.add(transition.event.split(" ", 1)[1])
     return frozenset(names)
+
+
+def reply_message_names() -> frozenset[str]:
+    """Message names that are replies in some exchange.
+
+    A state waiting to ``recv`` one of these is a *reply wait* over the
+    lossy transport and needs a timeout edge; waiting for a request
+    (a server's listen state) may legitimately block forever.
+    """
+    return frozenset(name for exchange in EXCHANGES
+                     for name in exchange.replies)

@@ -558,6 +558,12 @@ class DistributionAgent:
                      payload: bytes, op: Optional[str] = None):
         """§3.1 write: announce, stream, await ACK, retransmit NAKed."""
         op_id = channel.next_op()
+        # Drop replies left over from earlier ops on this channel: a
+        # duplicated ACK/NAK that arrived after its op completed would
+        # otherwise sit in the buffer forever, crowding out live ones.
+        channel.socket.purge(
+            lambda d: isinstance(d.message, (WriteAck, WriteNak))
+            and d.message.op_id < op_id)
         request = WriteRequest(
             handle=channel.handle, op_id=op_id, offset=region_offset,
             length=len(payload), packet_size=self.packet_size)

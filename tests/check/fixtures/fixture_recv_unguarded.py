@@ -1,0 +1,6 @@
+"""Fixture: one bare receive with no timeout guard."""
+
+
+def await_reply(sock):
+    datagram = yield sock.recv()
+    return datagram.message

@@ -1,0 +1,9 @@
+"""Fixture: one unbounded retransmit loop around a guarded wait."""
+
+
+def fetch(sock, request, timeout_s=0.5):
+    while True:
+        sock.send(request)
+        reply = yield sock.recv_wait(timeout_s)
+        if reply is not None:
+            return reply

@@ -1,0 +1,7 @@
+"""Fixture: one timeout constant whose name hides its unit."""
+
+ACK_TIMEOUT = 5
+
+
+def wait_for_ack(sock):
+    return sock.recv_wait(ACK_TIMEOUT)

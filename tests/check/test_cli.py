@@ -66,4 +66,68 @@ def test_list_rules(capsys):
 def test_module_entry_point(capsys):
     from repro.check.cli import main as check_main
     assert check_main(["--list-rules"]) == 0
-    assert "mutable-default" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "mutable-default" in out
+    assert "model-deadlock" in out
+    assert "protocol-conformance" in out
+
+
+def test_findings_have_stable_ids(capsys):
+    main(["check", "--root", FIXTURES, "--json"])
+    first = json.loads(capsys.readouterr().out)
+    main(["check", "--root", FIXTURES, "--json"])
+    second = json.loads(capsys.readouterr().out)
+    ids = [f["id"] for f in first["findings"]]
+    assert all(len(i) == 10 for i in ids)
+    assert ids == [f["id"] for f in second["findings"]]  # run-to-run stable
+
+
+def test_text_report_carries_the_id(capsys):
+    main(["check", "--root", FIXTURES])
+    out = capsys.readouterr().out
+    assert "(id " in out
+
+
+def test_fail_on_threshold_semantics():
+    from repro.check.findings import Finding, Severity
+    from repro.check.report import exit_code
+
+    warning = Finding(rule_id="x", path=Path("a.py"), line=1, message="m",
+                      severity=Severity.WARNING)
+    assert exit_code([warning]) == 0
+    assert exit_code([warning], fail_on=Severity.WARNING) == 1
+    assert exit_code([], fail_on=Severity.WARNING) == 0
+
+
+def test_fail_on_flag_is_accepted(capsys):
+    assert main(["check", "--fail-on", "warning"]) == 0  # clean repo
+    capsys.readouterr()
+    assert main(["check", "--root", FIXTURES, "--fail-on", "warning"]) == 1
+    capsys.readouterr()
+
+
+def test_model_smoke_run(capsys):
+    # One small scenario: exhausts in well under a second, exits clean.
+    assert main(["check", "--model", "--scenarios", "pair:close"]) == 0
+    out = capsys.readouterr().out
+    assert "exhausted" in out
+    assert "retransmits<=2" in out  # bounds are reported
+    assert "0 error(s)" in out
+
+
+def test_model_json_report(capsys):
+    code = main(["check", "--model", "--json",
+                 "--scenarios", "pair:close,pair:read",
+                 "--retransmits", "1", "--depth", "40"])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["model"]["exhausted"] is True
+    assert "retransmits<=1" in report["model"]["bounds"]
+    names = {s["name"] for s in report["model"]["scenarios"]}
+    assert names == {"pair:close", "pair:read"}
+    assert report["findings"] == []
+
+
+def test_model_unknown_scenario_is_an_error():
+    with pytest.raises(SystemExit, match="unknown model scenario"):
+        main(["check", "--model", "--scenarios", "pair:bogus"])

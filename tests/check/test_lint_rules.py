@@ -18,6 +18,9 @@ RULE_FIXTURES = {
     "fixture_set_iteration.py": "set-iteration",
     "fixture_salted_hash.py": "salted-hash",
     "fixture_implicit_seed.py": "implicit-seed",
+    "fixture_recv_unguarded.py": "recv-unguarded",
+    "fixture_retransmit_unbounded.py": "retransmit-unbounded",
+    "fixture_timeout_unit.py": "timeout-unit",
 }
 
 

@@ -110,6 +110,55 @@ def test_machines_are_sound():
         assert _check_machine(machine, spec_path) == [], machine.name
 
 
+def test_machines_cover_both_sides_of_every_exchange():
+    from repro.check.spec import MACHINE_PAIRS, machine_by_name
+    client_names = {name for name, _ in MACHINE_PAIRS}
+    agent_names = {name for _, name in MACHINE_PAIRS}
+    for client_name, agent_name in MACHINE_PAIRS:
+        assert machine_by_name(client_name).side == "client"
+        assert machine_by_name(agent_name).side == "agent"
+    for exchange in EXCHANGES:
+        senders = [m for m in MACHINES if m.side == "client" and any(
+            t.event == f"send {exchange.request}" for t in m.transitions)]
+        assert senders, f"no client machine sends {exchange.request}"
+        assert any(m.name in client_names for m in senders)
+        receivers = [m for m in MACHINES if m.side == "agent" and any(
+            t.event == f"recv {exchange.request}" for t in m.transitions)]
+        assert receivers, f"no agent machine receives {exchange.request}"
+        assert any(m.name in agent_names for m in receivers)
+
+
+def test_servers_may_await_requests_without_timeout_edges():
+    # The timeout-edge requirement is reply-aware: a listen state that
+    # awaits a *request* forever is sound.
+    machine = StateMachine(
+        name="srv", initial="LISTEN", terminals=frozenset({"LISTEN"}),
+        transitions=(Transition("LISTEN", "recv StatRequest", "BUSY"),
+                     Transition("BUSY", "send StatReply", "LISTEN")),
+        side="agent")
+    assert _check_machine(machine, Path("spec.py")) == []
+
+
+def test_missing_receive_arm_is_also_a_conformance_gap(tmp_path):
+    _write_synthetic_tree(tmp_path, drop_receive="WriteData")
+    findings = check_protocol(tmp_path)
+    assert any(
+        f.rule_id == "protocol-conformance"
+        and "recv WriteData" in f.message
+        for f in findings), [f.message for f in findings]
+
+
+def test_undeclared_send_is_a_conformance_gap(tmp_path):
+    _write_synthetic_tree(tmp_path, extra_agent_send="WriteData")
+    # WriteData is spec vocabulary, so the vocabulary pass stays quiet —
+    # but no *agent* machine has a `send WriteData` edge.
+    findings = check_protocol(tmp_path)
+    assert any(
+        f.rule_id == "protocol-conformance"
+        and "agent code sends WriteData" in f.message
+        for f in findings), [f.message for f in findings]
+
+
 def test_machine_checker_catches_unreachable_state():
     machine = StateMachine(
         name="bad", initial="A", terminals=frozenset({"B"}),

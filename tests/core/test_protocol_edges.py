@@ -1,0 +1,121 @@
+"""Adversary-surfaced protocol edges, replayed against the real DES stack.
+
+The model checker (`repro check --model`) explores these schedules
+symbolically; each test here re-creates one of them concretely — crafted
+datagrams injected straight into the client's socket buffer, or an agent
+crashed mid-transfer — and checks the implementation honours the same
+invariants the model proves.
+"""
+
+import pytest
+
+from repro.core import DistributionAgent, StorageAgent, TransferError
+from repro.core.agent_protocol import WriteAck, WriteNak
+from repro.core.deployment import INSTANT_DISK
+from repro.des import Environment, StreamFactory
+from repro.simdisk import Disk, LocalFileSystem
+from repro.simnet import Address, Datagram, Network
+
+
+def build_swift(num_agents=1, seed=1, max_retries=5):
+    env = Environment()
+    streams = StreamFactory(seed)
+    net = Network(env, streams)
+    net.add_ethernet("lan", loss_probability=0.0)
+    client_host = net.add_host("client")
+    net.connect("client", "lan", tx_queue_packets=4096)
+    agents = []
+    for index in range(num_agents):
+        name = f"agent{index}"
+        host = net.add_host(name)
+        net.connect(name, "lan", tx_queue_packets=4096)
+        fs = LocalFileSystem(env, Disk(env, INSTANT_DISK), cache_blocks=4096)
+        agents.append(StorageAgent(env, host, fs, socket_buffer=4096,
+                                   nak_timeout_s=0.05))
+    engine = DistributionAgent(
+        env, client_host, [f"agent{i}" for i in range(num_agents)],
+        "obj", striping_unit=4096, packet_size=4096,
+        open_timeout_s=0.1, read_timeout_s=0.1, ack_timeout_s=0.1,
+        max_retries=max_retries,
+    )
+    return env, engine, agents
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def inject(channel, message):
+    """Plant a crafted datagram in the client channel's receive buffer."""
+    channel.socket.deliver(Datagram(
+        src=channel.data_address,
+        dst=Address("client", channel.socket.port),
+        size=64, message=message))
+
+
+PAYLOAD = bytes((i * 7 + 3) % 256 for i in range(12_000))
+
+
+def test_duplicate_ack_after_client_advance_is_purged():
+    # The adversary's duplicated-ACK schedule: the ACK for a completed
+    # op arrives (again and again) after the client already advanced.
+    # The next write must purge the stale replies — left in the buffer
+    # they would crowd out the live ACK (the rx queue is finite).
+    env, engine, _ = build_swift()
+    run(env, engine.open(create=True))
+    run(env, engine.write(0, PAYLOAD))
+    channel = engine.data_channels[0]
+    for _ in range(channel.socket.buffer_packets):
+        inject(channel, WriteAck(handle=channel.handle, op_id=1))
+    assert channel.socket._rx.size == channel.socket.buffer_packets
+    run(env, engine.write(0, PAYLOAD))
+    # The live ACK got through: no timeouts, and the stale flood is gone.
+    assert engine.stats.ack_timeouts == 0
+    assert not any(isinstance(d.message, WriteAck)
+                   for d in channel.socket._rx.items)
+    assert run(env, engine.read(0, len(PAYLOAD))) == PAYLOAD
+
+
+def test_stale_nak_from_previous_op_is_not_trusted():
+    # A stale NAK (an op the client finished long ago) claims packets
+    # are missing.  The op_id filter must keep the client from
+    # retransmitting anything for it.
+    env, engine, _ = build_swift()
+    run(env, engine.open(create=True))
+    run(env, engine.write(0, PAYLOAD))
+    channel = engine.data_channels[0]
+    inject(channel, WriteNak(handle=channel.handle, op_id=1,
+                             missing=(0, 1, 2)))
+    run(env, engine.write(0, PAYLOAD))
+    assert engine.stats.naks_received == 0
+    assert engine.stats.write_retransmits == 0
+    assert run(env, engine.read(0, len(PAYLOAD))) == PAYLOAD
+
+
+def test_agent_crash_between_partial_write_acks_aborts_cleanly():
+    # The crash schedule: the first write is ACKed, the agent dies, the
+    # second write can never complete.  Bounded liveness demands a clean
+    # abort within max_retries, with the channel marked failed.
+    env, engine, agents = build_swift(num_agents=2, max_retries=3)
+    run(env, engine.open(create=True))
+    run(env, engine.write(0, PAYLOAD))
+    agents[0].crash()
+    with pytest.raises(TransferError):
+        run(env, engine.write(0, PAYLOAD))
+    assert 0 in engine.failed_agents
+    # The retransmit bound was honoured, not exceeded.
+    assert engine.stats.ack_timeouts <= 3
+
+
+def test_crash_does_not_corrupt_the_surviving_stripe():
+    # After the aborted write, data on the surviving agent must still be
+    # either the old or the new generation for its stripe — readable
+    # without protocol errors once the dead agent is marked failed.
+    env, engine, agents = build_swift(num_agents=2, max_retries=2)
+    run(env, engine.open(create=True))
+    first = bytes(200) + PAYLOAD[200:]
+    run(env, engine.write(0, first))
+    agents[1].crash()
+    with pytest.raises(TransferError):
+        run(env, engine.write(0, PAYLOAD))
+    assert 1 in engine.failed_agents
