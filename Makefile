@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test lint check-model check-model-full bench bench-full bench-smoke tables figures examples clean
+.PHONY: install test lint check-aliasing check-model check-model-full bench bench-full bench-smoke tables figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -15,11 +15,17 @@ lint:
 	$(PYTHON) -m repro check --json
 	$(PYTHON) -m repro check --races --json
 	$(PYTHON) -m repro check --units src/ --json
+	$(PYTHON) -m repro check --aliasing src/ --json
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks; \
 	else \
 		echo "ruff not installed; skipping style pass"; \
 	fi
+
+# Zero-copy safety pass: memoryview-escape / hidden-copy / pool-leak rules
+# over the package, failing on any finding (see docs/CHECKING.md).
+check-aliasing:
+	$(PYTHON) -m repro check --aliasing src/ --fail-on error
 
 # Bounded protocol model-checking smoke (~7 s, ~240k states): the CI gate.
 check-model:

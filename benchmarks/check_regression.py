@@ -10,9 +10,17 @@ Faster-than-baseline results pass silently: the gate is one-sided, and
 re-baselining is a deliberate act (copy the fresh JSON into
 ``benchmarks/baselines/`` in the same commit as the speedup).
 
+The fresh JSON is additionally self-gated: the aliasing sanitizer's
+measured overhead ratio must stay under ``--sanitizer-threshold``
+(default 1.5x of the uninstrumented kernel).  That bound is absolute,
+not baseline-relative — it holds the instrumented pools cheap enough
+that sanitized CI runs stay practical.  Baselines archived before the
+sanitizer existed simply lack the key and are not penalised.
+
 Usage::
 
     python benchmarks/check_regression.py [--threshold 0.20]
+        [--sanitizer-threshold 1.5]
 """
 
 from __future__ import annotations
@@ -29,12 +37,19 @@ FRESH = BENCH_DIR / "results" / "BENCH_kernel_events.json"
 #: Metrics gated, with direction: events/sec must not drop.
 GATED_METRIC = "events_per_sec"
 
+#: Fresh-run-only gate: sanitized/plain throughput ratio must stay low.
+SANITIZER_METRIC = "aliasing_sanitizer_overhead_ratio"
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="maximum tolerated fractional drop "
                              "(default 0.20 = 20%%)")
+    parser.add_argument("--sanitizer-threshold", type=float, default=1.5,
+                        help="maximum tolerated aliasing-sanitizer "
+                             "overhead ratio in the fresh run "
+                             "(default 1.5x)")
     parser.add_argument("--baseline", type=Path, default=BASELINE)
     parser.add_argument("--fresh", type=Path, default=FRESH)
     options = parser.parse_args(argv)
@@ -66,6 +81,20 @@ def main(argv=None) -> int:
               "copying the fresh JSON into benchmarks/baselines/.",
               file=sys.stderr)
         return 1
+
+    overhead = fresh.get(SANITIZER_METRIC)
+    if overhead is not None:
+        print(f"regression gate: {SANITIZER_METRIC} measured "
+              f"{overhead:.2f}x (ceiling "
+              f"{options.sanitizer_threshold:.2f}x)")
+        if overhead > options.sanitizer_threshold:
+            print(f"regression gate: FAIL — the aliasing sanitizer costs "
+                  f"{overhead:.2f}x the bare kernel "
+                  f"(> {options.sanitizer_threshold:.2f}x allowed).  Keep "
+                  "the instrumented-pool hot path branch-cheap; see "
+                  "docs/CHECKING.md.", file=sys.stderr)
+            return 1
+
     print("regression gate: OK")
     return 0
 

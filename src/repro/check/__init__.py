@@ -31,6 +31,14 @@ defence:
   constants; run with ``python -m repro check --units``.
 * :mod:`repro.check.conserve` — a runtime byte-conservation ledger over
   the striped data path, fed by the engine's transfer-monitor hook.
+* :mod:`repro.check.aliasing` — zero-copy safety lints: an AST dataflow
+  analysis over view-producing expressions flagging borrowed views that
+  escape their backing buffer's lifetime (``view-escape``), silent
+  flattening copies on hot paths (``hidden-copy``) and pooled event
+  references held across the free-list re-arm boundary (``pool-leak``);
+  run with ``python -m repro check --aliasing``.  Its runtime half
+  (poisoned free lists, generation-stamped buffers) lives in
+  :mod:`repro.check.sanitize` as :func:`alias_sanitize`.
 * :mod:`repro.check.model` — an explicit-state bounded model checker:
   composes each client machine of :mod:`repro.check.spec` with its
   agent-side peer and an adversarial network
@@ -43,6 +51,7 @@ Run everything from the command line::
     python -m repro check [--json]
     python -m repro check --races [--json]
     python -m repro check --units [paths ...] [--json]
+    python -m repro check --aliasing [paths ...] [--json]
     python -m repro check --model [--depth N] [--retransmits K]
 
 which exits non-zero when any violation is found.  Individual lint findings
@@ -51,6 +60,7 @@ offending line (or the line above); see docs/CHECKING.md.
 """
 
 from .adversary import AdversaryBudget
+from .aliasing import ALIAS_RULES, alias_rule_registry, analyze_aliasing
 from .findings import Finding, Severity
 from .hb import RaceDetector, RaceError, RaceReport, detect_races
 from .model import (
@@ -78,10 +88,15 @@ from .rules import DEFAULT_RULES, rule_registry
 from .units import UNIT_RULES, unit_rule_registry
 from .conserve import ConservationError, ConservationLedger, conserve
 from .sanitize import (
+    AliasSanitizer,
+    GuardedView,
     MonotonicityError,
     ResourceLeakError,
     SanitizerError,
     SharedStreamError,
+    StaleViewError,
+    UseAfterRecycleError,
+    alias_sanitize,
     sanitize,
 )
 
@@ -97,6 +112,9 @@ __all__ = [
     "race_rule_registry",
     "UNIT_RULES",
     "unit_rule_registry",
+    "ALIAS_RULES",
+    "alias_rule_registry",
+    "analyze_aliasing",
     "ConservationError",
     "ConservationLedger",
     "conserve",
@@ -114,10 +132,15 @@ __all__ = [
     "render_json",
     "run_check",
     "sanitize",
+    "alias_sanitize",
+    "AliasSanitizer",
+    "GuardedView",
     "SanitizerError",
     "MonotonicityError",
     "ResourceLeakError",
     "SharedStreamError",
+    "StaleViewError",
+    "UseAfterRecycleError",
     "RaceDetector",
     "RaceReport",
     "RaceError",

@@ -7,6 +7,7 @@ import sys
 from pathlib import Path
 
 from .adversary import AdversaryBudget
+from .aliasing import alias_rule_registry
 from .findings import Severity
 from .lint import LintEngine, iter_python_files
 from .model import ModelConfig, check_model, scenario_names
@@ -38,7 +39,8 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
         help="comma-separated rule ids to run (default: all); "
              f"known: {', '.join(sorted(rule_registry()))}; under "
              f"--races: {', '.join(sorted(race_rule_registry()))}; under "
-             f"--units: {', '.join(sorted(unit_rule_registry()))}")
+             f"--units: {', '.join(sorted(unit_rule_registry()))}; under "
+             f"--aliasing: {', '.join(sorted(alias_rule_registry()))}")
     parser.add_argument(
         "--no-protocol", action="store_true",
         help="skip the protocol state-machine checker")
@@ -53,6 +55,11 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
         help="run the dimensional-analysis lints (unit-mismatch, "
              "unit-bitbyte, unit-magic) instead of the determinism pass; "
              "audits the given paths (or --root, or the installed package)")
+    parser.add_argument(
+        "--aliasing", action="store_true",
+        help="run the zero-copy safety lints (view-escape, hidden-copy, "
+             "pool-leak) instead of the determinism pass; audits the given "
+             "paths (or --root, or the installed package)")
     parser.add_argument(
         "--model", action="store_true",
         help="run the protocol model checker: exhaustively explore the "
@@ -201,6 +208,25 @@ def _run_units(args) -> int:
     return exit_code(findings, fail_on=_fail_threshold(args))
 
 
+def _run_aliasing(args) -> int:
+    registry = alias_rule_registry()
+    rules = _selected_rules(args.rules, registry)
+    if rules is None:
+        rules = [rule() for rule in registry.values()]
+    engine = LintEngine(rules=rules)
+    findings = []
+    checked = 0
+    for root in _unit_roots(args):
+        findings.extend(engine.check_tree(root))
+        checked += sum(1 for _ in iter_python_files(root))
+    findings.sort(key=lambda f: (str(f.path), f.line, f.rule_id))
+    if args.json:
+        print(render_json(findings, checked_paths=checked))
+    else:
+        print(render_text(findings, checked_paths=checked))
+    return exit_code(findings, fail_on=_fail_threshold(args))
+
+
 def run_check_command(args) -> int:
     """Execute ``repro check`` with parsed ``args``; returns exit code."""
     if args.list_rules:
@@ -210,6 +236,8 @@ def run_check_command(args) -> int:
             print(f"{rule_id:<18} {rule.summary} [--races]")
         for rule_id, rule in sorted(unit_rule_registry().items()):
             print(f"{rule_id:<18} {rule.summary} [--units]")
+        for rule_id, rule in sorted(alias_rule_registry().items()):
+            print(f"{rule_id:<18} {rule.summary} [--aliasing]")
         print(f"{'protocol-spec':<18} spec vocabulary matches "
               "agent_protocol.py")
         print(f"{'protocol-machine':<18} state machines are sound "
@@ -240,6 +268,9 @@ def run_check_command(args) -> int:
 
     if args.units:
         return _run_units(args)
+
+    if args.aliasing:
+        return _run_aliasing(args)
 
     explicit = _explicit_paths(args)
     if explicit is not None:

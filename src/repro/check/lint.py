@@ -15,11 +15,19 @@ from typing import Iterable, Iterator, Optional, Sequence
 
 from .findings import Finding, Severity
 
-__all__ = ["Rule", "LintEngine", "iter_python_files", "SUPPRESS_PATTERN"]
+__all__ = ["Rule", "LintEngine", "iter_python_files", "RULE_GROUPS",
+           "SUPPRESS_PATTERN"]
 
 #: ``# repro: allow[rule-id]`` (several ids comma-separated, ``*`` for all).
 SUPPRESS_PATTERN = re.compile(
     r"#\s*repro:\s*allow\[([A-Za-z0-9_\-*,\s]+)\]")
+
+#: Group aliases for suppression comments: ``allow[group]`` covers every
+#: rule id starting with one of the listed prefixes.
+RULE_GROUPS: dict[str, tuple[str, ...]] = {
+    "units": ("unit-",),
+    "aliasing": ("view-escape", "hidden-copy", "pool-leak"),
+}
 
 #: Directories never linted (caches, checker test fixtures).
 _SKIP_DIR_NAMES = {"__pycache__", ".git", ".pytest_cache"}
@@ -125,8 +133,10 @@ class LintEngine:
                 granted = allowed.get(finding.line, ())
                 if finding.rule_id in granted or "*" in granted:
                     continue
-                if "units" in granted and finding.rule_id.startswith("unit-"):
-                    continue  # allow[units] covers the whole unit pass
+                if any(group in granted
+                       and finding.rule_id.startswith(prefixes)
+                       for group, prefixes in RULE_GROUPS.items()):
+                    continue  # allow[group] covers the whole pass
                 findings.append(finding)
         return findings
 

@@ -33,15 +33,24 @@ Usage::
 
 from __future__ import annotations
 
+import sys
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Optional
+
+from ..des.events import StaleEventError
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..des.engine import Environment
     from ..des.random_streams import RandomStream, StreamFactory
 
 __all__ = ["sanitize", "Sanitizer", "SanitizerError", "MonotonicityError",
-           "ResourceLeakError", "SharedStreamError"]
+           "ResourceLeakError", "SharedStreamError",
+           "alias_sanitize", "AliasSanitizer", "GuardedView",
+           "StaleViewError", "UseAfterRecycleError"]
+
+#: Touching a recycled pooled event raises this (re-exported from the
+#: event layer so sanitizer users need one import).
+UseAfterRecycleError = StaleEventError
 
 
 class SanitizerError(AssertionError):
@@ -58,6 +67,10 @@ class ResourceLeakError(SanitizerError):
 
 class SharedStreamError(SanitizerError):
     """One random stream was drawn by more than one process."""
+
+
+class StaleViewError(SanitizerError):
+    """A guarded view was read after its backing buffer moved on."""
 
 
 class Sanitizer:
@@ -202,3 +215,391 @@ def sanitize(env: "Environment",
     finally:
         monitor.uninstall()
     monitor.finish()
+
+
+# -- aliasing sanitizer (the runtime half of `repro check --aliasing`) -----
+
+
+def _capture_frames(depth: int, skip: int) -> tuple:
+    """The ``depth`` innermost caller frames as raw tuples.
+
+    A manual ``sys._getframe`` walk storing ``(filename, lineno,
+    funcname)`` — formatting happens lazily at raise time, so the
+    per-recycle cost stays a few attribute reads (``traceback``'s
+    renderers are two orders of magnitude slower and would blow the
+    sanitizer's 1.5x overhead budget).
+    """
+    if depth <= 0:
+        return ()
+    try:
+        frame = sys._getframe(skip)
+    except ValueError:  # pragma: no cover - shallow interpreter stack
+        return ()
+    frames = []
+    while frame is not None and len(frames) < depth:
+        code = frame.f_code
+        frames.append((code.co_filename, frame.f_lineno, code.co_name))
+        frame = frame.f_back
+    return tuple(frames)
+
+
+def _render_frames(frames) -> str:
+    if not frames:
+        return "    (stack not captured: stack_depth=0)"
+    return "\n".join(f"    {filename}:{lineno} in {funcname}"
+                     for filename, lineno, funcname in frames)
+
+
+class _InstrumentedPool(list):
+    """A free list that marks events stale on append and blesses on pop.
+
+    Swapped in for the environment's ``_timeout_pool`` /
+    ``_release_pool`` / ``_request_pool`` while the aliasing sanitizer
+    is installed.  Pooling itself keeps running — the engine's
+    ``_unmonitored`` gate never sees the sanitizer — so the instrumented
+    run exercises exactly the recycling the production run performs.
+
+    Both overrides are fully inlined: this pair of methods is the
+    sanitizer's entire per-event cost, and the 1.5x overhead gate in
+    ``benchmarks/check_regression.py`` prices every extra slot write.
+    Staleness is one store into the event's ``_stale`` slot (this pool),
+    cleared on pop — the event's ``_value`` is never touched, so the
+    sanitized run is trivially bit-identical and a ``Release``'s
+    value-free invariant survives untouched.  Each pool is recycled
+    into from essentially one drain-loop line, so a single-entry
+    per-pool memo (code object + bytecode offset) makes the
+    recycle-site stack walk a once-per-site event; the stack attached
+    to a :class:`StaleEventError` is the pool's most recently captured
+    site, which for these single-site pools is the event's own.
+    """
+
+    __slots__ = ("_sanitizer", "_kind", "_depth", "_initial",
+                 "recycled", "_memo_code", "_memo_lasti", "_memo_frames")
+
+    def __init__(self, sanitizer: "AliasSanitizer", kind: str, items):
+        super().__init__(items)
+        self._sanitizer = sanitizer
+        self._kind = kind
+        self._depth = sanitizer.stack_depth
+        self._initial = len(self)
+        self.recycled = 0
+        self._memo_code = None
+        self._memo_lasti = -1
+        self._memo_frames: tuple = ()
+
+    @property
+    def rearmed(self) -> int:
+        """Pops so far, derived: appends + initial load - still parked."""
+        return self.recycled + self._initial - len(self)
+
+    def append(self, event) -> None:
+        count = self.recycled = self.recycled + 1
+        # Sampled site capture: the stack walk runs on the first append
+        # and every 16th after that, so the steady-state cost of the
+        # memo is one mask-and-compare instead of a sys._getframe call.
+        # A pool recycled from two alternating sites can therefore lag
+        # up to 15 recycles behind in its diagnostics — in this tree
+        # every pool has exactly one recycle site, so the memoized
+        # stack is the event's own.
+        if self._depth and (count & 15) == 1:
+            frame = sys._getframe(1)
+            if (frame.f_lasti != self._memo_lasti
+                    or frame.f_code is not self._memo_code):
+                self._memo_code = frame.f_code
+                self._memo_lasti = frame.f_lasti
+                walked = []
+                while frame is not None and len(walked) < self._depth:
+                    code = frame.f_code
+                    walked.append(
+                        (code.co_filename, frame.f_lineno, code.co_name))
+                    frame = frame.f_back
+                self._memo_frames = tuple(walked)
+        event._stale = self
+        list.append(self, event)
+
+    def pop(self, index: int = -1):
+        event = list.pop(self, index)
+        if event.callbacks:
+            self._sanitizer._raise_stale_rearm(self._kind, event, self)
+        event._stale = None
+        return event
+
+    def _describe_stale(self) -> str:
+        """Render the recycle diagnostics for :class:`StaleEventError`."""
+        lines = [
+            f"{self._kind} was recycled to the free list and may be "
+            "re-armed as a different logical event at any moment",
+            "recycled at:",
+        ]
+        if self._memo_frames:
+            for filename, lineno, funcname in self._memo_frames:
+                lines.append(f"    {filename}:{lineno} in {funcname}")
+        else:
+            lines.append(
+                "    (recycle stack not captured: stack_depth=0)")
+        lines.append("use site: this exception's own traceback")
+        return "\n".join(lines)
+
+
+class _BufferState:
+    """Generation stamp for one adopted backing buffer."""
+
+    __slots__ = ("label", "generation", "frames", "reason")
+
+    def __init__(self, label: str):
+        self.label = label
+        self.generation = 0
+        self.frames: tuple = ()
+        self.reason = ""
+
+
+class GuardedView:
+    """A borrow of an adopted buffer that checks its generation stamp.
+
+    Produced by :meth:`AliasSanitizer.borrow`.  Every access re-checks
+    the backing buffer's generation: if the buffer was mutated, flushed
+    or retired since the borrow, the access raises
+    :class:`StaleViewError` carrying the mutation site's stack (the use
+    site is the exception's own traceback — dual stacks).
+
+    No memoryview export is held between accesses — a live export would
+    pin a bytearray against resizing (``BufferError`` on extend) and the
+    guarded production path must behave exactly like the bare one.  Each
+    access materializes, uses and releases a fresh view.
+    """
+
+    __slots__ = ("_state", "_buffer", "_start", "_stop", "_generation",
+                 "_borrow_frames")
+
+    def __init__(self, state: _BufferState, buffer, start: int,
+                 stop: Optional[int], generation: int,
+                 borrow_frames: tuple):
+        self._state = state
+        self._buffer = buffer
+        self._start = start
+        self._stop = stop
+        self._generation = generation
+        self._borrow_frames = borrow_frames
+
+    def check(self) -> None:
+        """Raise :class:`StaleViewError` if the borrow went stale."""
+        state = self._state
+        if state.generation != self._generation:
+            raise StaleViewError(
+                f"stale view of buffer {state.label!r}: borrowed at "
+                f"generation {self._generation}, backing buffer was "
+                f"{state.reason or 'mutated'} (now generation "
+                f"{state.generation})\n"
+                "borrowed at:\n" + _render_frames(self._borrow_frames)
+                + "\ninvalidated at:\n" + _render_frames(state.frames)
+                + "\nuse site: this exception's own traceback")
+
+    def _materialize(self) -> memoryview:
+        self.check()
+        view = memoryview(self._buffer)
+        if self._start or self._stop is not None:
+            view = view[self._start:self._stop]
+        return view
+
+    @property
+    def stale(self) -> bool:
+        """True once the backing buffer has moved on."""
+        return self._state.generation != self._generation
+
+    @property
+    def view(self) -> memoryview:
+        """A fresh underlying memoryview (checked; caller releases)."""
+        return self._materialize()
+
+    def tobytes(self) -> bytes:
+        """Checked explicit copy (the sanctioned escape hatch)."""
+        view = self._materialize()
+        try:
+            return view.tobytes()
+        finally:
+            view.release()
+
+    def __len__(self) -> int:
+        view = self._materialize()
+        try:
+            return len(view)
+        finally:
+            view.release()
+
+    def __getitem__(self, index):
+        view = self._materialize()
+        try:
+            if isinstance(index, slice):
+                start, stop, step = index.indices(len(view))
+                if step != 1:
+                    raise ValueError(
+                        "GuardedView does not support extended slices")
+                base = self._start
+                return GuardedView(self._state, self._buffer,
+                                   base + start, base + stop,
+                                   self._generation, self._borrow_frames)
+            return view[index]
+        finally:
+            view.release()
+
+    def __bytes__(self) -> bytes:
+        return self.tobytes()
+
+
+class AliasSanitizer:
+    """Runtime use-after-recycle and stale-view detection.
+
+    Two mechanisms, both zero-cost when not installed:
+
+    * the environment's event free lists are swapped for
+      :class:`_InstrumentedPool`\\ s — every recycled event is stamped
+      stale (one slot write; its ``_value`` is never touched) so reading
+      ``event.value`` through a stale reference raises
+      :class:`UseAfterRecycleError` with the recycle site's stack; a
+      pooled event re-armed while something still waits on it
+      (non-empty callbacks) is reported at the re-arm, before the
+      corruption propagates;
+    * buffers registered with :meth:`adopt` get a generation stamp,
+      advanced by the ``buffer-mutate`` / ``buffer-retire`` alias-hook
+      notifications the data path emits; :meth:`borrow` hands out
+      :class:`GuardedView` objects that trip :class:`StaleViewError` on
+      any access past the stamp.
+
+    **Install before ``env.run()``**: the drain loop binds the free
+    lists to locals when it starts, so a mid-run install would watch the
+    wrong lists.  Unlike the determinism :class:`Sanitizer` this never
+    touches the step/schedule/resource monitor lists — the engine's
+    ``_unmonitored`` fast path (and therefore pooling, the very thing
+    under test) stays enabled and bit-identical.
+    """
+
+    _POOL_ATTRS = (("_timeout_pool", "Timeout"),
+                   ("_release_pool", "Release"),
+                   ("_request_pool", "Request"))
+
+    def __init__(self, env: "Environment", stack_depth: int = 4):
+        self.env = env
+        self.stack_depth = stack_depth
+        self._recycled_base = 0
+        self._rearmed_base = 0
+        self._buffers: dict[int, _BufferState] = {}
+        self._plain: dict[str, list] = {}
+        self._pools: list[_InstrumentedPool] = []
+        self._installed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def install(self) -> None:
+        """Swap in instrumented pools and attach the buffer hook."""
+        if self._installed:  # pragma: no cover - defensive
+            return
+        for attr, kind in self._POOL_ATTRS:
+            plain = getattr(self.env, attr)
+            self._plain[attr] = plain
+            pool = _InstrumentedPool(self, kind, plain)
+            if pool:
+                # Events already resting on the free list are just as
+                # stale as ones recycled later; mark them too.  The
+                # memo starts out holding the install site so their
+                # diagnostics have *a* stack until the first real
+                # recycle overwrites it.
+                pool._memo_frames = _capture_frames(self.stack_depth,
+                                                    skip=2)
+                for event in pool:
+                    event._stale = pool
+            setattr(self.env, attr, pool)
+            self._pools.append(pool)
+        self.env.add_alias_monitor(self._on_alias)
+        self._installed = True
+
+    def uninstall(self) -> None:
+        """Restore the plain pools, un-poisoning every parked event."""
+        if not self._installed:  # pragma: no cover - defensive
+            return
+        for attr, _ in self._POOL_ATTRS:
+            pool = getattr(self.env, attr)
+            for event in pool:
+                event._stale = None
+            plain = self._plain.pop(attr)
+            plain[:] = pool
+            setattr(self.env, attr, plain)
+        for pool in self._pools:
+            self._recycled_base += pool.recycled
+            self._rearmed_base += pool.rearmed
+        self._pools.clear()
+        self.env.remove_alias_monitor(self._on_alias)
+        self._installed = False
+
+    # -- pool hooks ---------------------------------------------------------
+
+    @property
+    def events_recycled(self) -> int:
+        """Total pool appends observed (live pools + uninstalled runs)."""
+        return self._recycled_base + sum(p.recycled for p in self._pools)
+
+    @property
+    def events_rearmed(self) -> int:
+        """Total pool pops observed (live pools + uninstalled runs)."""
+        return self._rearmed_base + sum(p.rearmed for p in self._pools)
+
+    def _raise_stale_rearm(self, kind: str, event, pool) -> None:
+        raise StaleEventError(
+            f"pooled {kind} re-armed while {len(event.callbacks)} "
+            "callback(s) still wait on its previous life; the stale "
+            f"waiter would fire for the wrong logical event\n"
+            f"{pool._describe_stale()}\n"
+            "re-arm site: this exception's own traceback")
+
+    # -- buffer hooks -------------------------------------------------------
+
+    def adopt(self, buffer, label: str = "") -> None:
+        """Track ``buffer`` under a generation stamp from now on."""
+        self._buffers[id(buffer)] = _BufferState(
+            label or f"buffer@{id(buffer):#x}")
+
+    def borrow(self, buffer) -> GuardedView:
+        """A guarded zero-copy view of an adopted buffer."""
+        state = self._buffers.get(id(buffer))
+        if state is None:
+            raise ValueError(
+                "buffer is not adopted; call adopt(buffer) first")
+        return GuardedView(state, buffer, 0, None, state.generation,
+                           _capture_frames(self.stack_depth, skip=2))
+
+    def _on_alias(self, kind: str, buffer) -> None:
+        state = self._buffers.get(id(buffer))
+        if state is None:
+            return
+        state.generation += 1
+        state.reason = ("retired (flushed/swapped out)"
+                        if kind == "buffer-retire" else "mutated in place")
+        # First captured frame is the emitter behind env._notify_alias.
+        state.frames = _capture_frames(self.stack_depth, skip=3)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def pooled_events(self) -> int:
+        """Events currently parked (poisoned) across the three pools."""
+        return sum(len(getattr(self.env, attr))
+                   for attr, _ in self._POOL_ATTRS)
+
+
+@contextmanager
+def alias_sanitize(env: "Environment", stack_depth: int = 4):
+    """Run a DES block under the aliasing sanitizer.
+
+    Enter **before** ``env.run()`` (the drain loop binds the free lists
+    to locals at start).  Inside the block, any read of a recycled
+    pooled event raises :class:`UseAfterRecycleError` and any access to
+    a stale :class:`GuardedView` raises :class:`StaleViewError`, both
+    carrying the invalidation site's stack alongside the use site's
+    traceback.  ``stack_depth=0`` trades the recycle-site stack for the
+    cheapest possible poisoning (shared message only).
+    """
+    monitor = AliasSanitizer(env, stack_depth=stack_depth)
+    monitor.install()
+    try:
+        yield monitor
+    finally:
+        monitor.uninstall()

@@ -123,6 +123,12 @@ class BufferedSwiftFile:
             yield from self.flush_p()
             self._write_start = self._position
             self._write_buffer.extend(data)
+        env = self._handle.engine.env
+        if env._alias_monitors:
+            # Views borrowed from the write buffer before this call are
+            # now looking at moved bytes; let the aliasing sanitizer
+            # advance the buffer's generation stamp.
+            env._notify_alias("buffer-mutate", self._write_buffer)
         self._position += len(data)
         self._invalidate_read_overlap()
         if len(self._write_buffer) >= self.buffer_size:
@@ -139,6 +145,11 @@ class BufferedSwiftFile:
             payload = self._write_buffer
             start = self._write_start
             self._write_buffer = bytearray()
+            env = self._handle.engine.env
+            if env._alias_monitors:
+                # The buffer leaves this file's ownership at the swap:
+                # any view of it still held by a caller is now stale.
+                env._notify_alias("buffer-retire", payload)
             yield from self._handle.pwrite_p(start, payload)
         else:
             yield self._handle.engine.env.timeout(0.0)

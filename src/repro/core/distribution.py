@@ -54,6 +54,21 @@ __all__ = ["DistributionAgent", "TransferStats"]
 _request_ids = itertools.count(1)
 
 
+def _frozen(data) -> "bytes | memoryview":
+    """An immutable alias of ``data``, copying only when it must.
+
+    Packet payloads are zero-copy views into the write buffer and stay
+    referenced across simulation time, so the backing must not change
+    under them.  ``bytes`` and other readonly buffers pass through as a
+    readonly view without copying; writable inputs (bytearray, writable
+    memoryview) are snapshotted exactly once.
+    """
+    if isinstance(data, bytes):
+        return data
+    view = memoryview(data)
+    return view if view.readonly else view.tobytes()
+
+
 @dataclass
 class TransferStats:
     """Counters a distribution agent keeps about its traffic."""
@@ -351,9 +366,12 @@ class DistributionAgent:
                 payload = datagram.message.payload
                 if len(payload) < length:
                     # Short read at agent EOF: the rest is zeros (hole).
-                    # bytes() also flattens memoryview payloads so ``+``
-                    # concatenation is always defined.
-                    payload = bytes(payload) + b"\x00" * (length - len(payload))
+                    # Pad into a preallocated buffer; slice assignment
+                    # accepts any bytes-like payload without flattening
+                    # it into an intermediate copy first.
+                    padded = bytearray(length)
+                    padded[:len(payload)] = payload
+                    payload = padded
                 return payload
         return None
 
@@ -433,12 +451,7 @@ class DistributionAgent:
         if not data:
             yield self.env.timeout(0.0)
             return 0
-        if not isinstance(data, bytes):
-            # Snapshot mutable inputs (bytearray, writable memoryview) once:
-            # packet payloads are zero-copy views into ``data`` and stay
-            # referenced across simulation time, so the backing buffer must
-            # be immutable.  A ``bytes`` input passes through uncopied.
-            data = bytes(data)
+        data = _frozen(data)
 
         op = self._new_op("w")
         self._emit(op, "write-begin", logical_offset=offset,

@@ -123,6 +123,7 @@ class Environment:
         self._schedule_monitors: list = []
         self._access_monitors: list = []
         self._transfer_monitors: list = []
+        self._alias_monitors: list = []
         # The setter below also caches the seed-dependent half of
         # tie_break_key so schedule() folds only the eid digits per event
         # (None = ties sort by raw eid, the default contract), and
@@ -268,6 +269,29 @@ class Environment:
     def _notify_transfer(self, kind: str, **info) -> None:
         for callback in self._transfer_monitors:
             callback(kind, **info)
+
+    def add_alias_monitor(self, callback) -> None:
+        """Call ``callback(kind, buffer)`` on every buffer-lifecycle event
+        an instrumented component emits (``"buffer-mutate"`` when a
+        shared write buffer grows in place, ``"buffer-retire"`` when it
+        is swapped out at flush).  The aliasing sanitizer
+        (:mod:`repro.check.sanitize`) attaches here; like the transfer
+        hook this deliberately does **not** flip ``_unmonitored``, so
+        event pooling and the inlined fast paths stay active and the
+        sanitizer observes exactly the production engine.
+        """
+        self._alias_monitors.append(callback)
+
+    def remove_alias_monitor(self, callback) -> None:
+        """Detach an alias monitor (no-op if absent)."""
+        try:
+            self._alias_monitors.remove(callback)
+        except ValueError:
+            pass
+
+    def _notify_alias(self, kind: str, buffer) -> None:
+        for callback in self._alias_monitors:
+            callback(kind, buffer)
 
     # -- event factories --------------------------------------------------------
 

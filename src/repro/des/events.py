@@ -25,12 +25,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 __all__ = [
     "PENDING",
     "Event",
+    "StaleEventError",
     "Timeout",
     "ConditionEvent",
     "AllOf",
     "AnyOf",
     "Interrupt",
 ]
+
+
+class StaleEventError(RuntimeError):
+    """A recycled pooled event was touched through a stale reference.
+
+    Raised only while the aliasing sanitizer
+    (:class:`repro.check.sanitize.AliasSanitizer`) has marked the free
+    lists; unmonitored runs never set the ``_stale`` slot.  The message
+    carries the recycle site's stack; the use site is this exception's
+    own traceback — read both.
+    """
 
 
 class _PendingType:
@@ -93,8 +105,13 @@ class Event:
     #: ``_hb_clock`` is written only by the happens-before detector
     #: (:mod:`repro.check.hb`) while its schedule monitor is attached;
     #: normal runs never touch the slot, so it stays unset and costs
-    #: nothing to construct.
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_hb_clock")
+    #: nothing to construct.  ``_stale`` is the aliasing sanitizer's
+    #: recycle mark: the instrumented free list that currently parks
+    #: this event, or None.  It is initialised by every constructor so
+    #: :attr:`value` can test it with a plain load, and set/cleared only
+    #: by the sanitizer's pools — re-arm fast paths never touch it.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused",
+                 "_stale", "_hb_clock")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -103,6 +120,7 @@ class Event:
         self._ok: Optional[bool] = None
         #: Set by the engine after callbacks have run.
         self._defused = False
+        self._stale = None
 
     # -- state inspection ---------------------------------------------------
 
@@ -126,9 +144,13 @@ class Event:
     @property
     def value(self) -> Any:
         """The event's value (or exception if it failed)."""
-        if self._value is PENDING:
+        value = self._value
+        if value is PENDING:
             raise RuntimeError(f"{self!r} has not been triggered yet")
-        return self._value
+        if self._stale is not None:
+            raise StaleEventError(
+                f"use-after-recycle: {self._stale._describe_stale()}")
+        return value
 
     def defuse(self) -> None:
         """Mark a failed event as handled so the engine does not re-raise."""
@@ -209,6 +231,7 @@ class Timeout(Event):
         self.env = env
         self.callbacks = []
         self._defused = False
+        self._stale = None
         self.delay = delay
         self._ok = True
         self._value = value

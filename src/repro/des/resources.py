@@ -41,6 +41,7 @@ class Request(Event):
         self._value = PENDING
         self._ok = None
         self._defused = False
+        self._stale = None
         self.resource = resource
         self.priority = priority
         resource._enqueue(self)
@@ -94,6 +95,7 @@ class Release(Event):
         self._ok = True
         self._value = None
         self._defused = False
+        self._stale = None
         resource._dequeue(request)
         # Inlined self.succeed() — a Release fires exactly once, straight
         # from construction, so the already-triggered guard is dead code.

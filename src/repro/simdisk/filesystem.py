@@ -274,8 +274,11 @@ class LocalFileSystem:
             disk_block = inode.blocks.get(file_block)
             if disk_block is None:
                 disk_block = self._allocate_block(inode, file_block)
-            old = self._store.get(disk_block, b"\x00" * self.block_size)
-            new = old[:within] + bytes(remaining[:span]) + old[within + span:]
+            old = self._store.get(disk_block)
+            block = (bytearray(old) if old is not None
+                     else bytearray(self.block_size))
+            block[within:within + span] = remaining[:span]
+            new = bytes(block)
             self._store[disk_block] = new
             self.cache.insert(disk_block, new, dirty=True)
             touched.append(disk_block)

@@ -1,0 +1,26 @@
+"""Clean fixture: sanctioned zero-copy idioms produce no findings.
+
+repro: hot-path
+
+Every pattern here is the blessed counterpart of a flagged one:
+``.tobytes()`` for deliberate copies, preallocated buffers with slice
+assignment for padding, views taken *after* the flush, and narrowing
+rebinds that keep a view alive over its own backing.
+"""
+
+
+def sanctioned(packet, length):
+    payload = packet.payload
+    copy = payload.tobytes()
+    padded = bytearray(length)
+    padded[:len(copy)] = copy
+    remaining = memoryview(copy)
+    remaining = remaining[4:]
+    return padded, remaining
+
+
+class Flusher:
+    def rewrite(self):
+        self.flush()
+        view = memoryview(self._write_buffer)
+        return view.tobytes()

@@ -1,0 +1,17 @@
+"""Suppressed fixture: ``allow[aliasing]`` silences the whole pass.
+
+repro: hot-path
+
+The flagged line would fire both ``view-escape`` (stale load past the
+flush) and ``hidden-copy`` (``bytes()`` on a view in a hot file); the
+single group comment covers both.
+"""
+
+
+class Writer:
+    def drain(self):
+        view = memoryview(self._write_buffer)
+        self.flush()
+        # repro: allow[aliasing]
+        kept = bytes(view)
+        return kept

@@ -1,0 +1,15 @@
+"""Mutation fixture: the bytes()-on-a-view copy from _apply_write.
+
+repro: hot-path
+
+This is the pre-fix shape of simdisk/filesystem._apply_write: flattening
+the remaining view per block instead of slice-assigning into a
+preallocated bytearray.  Expected: exactly one ``hidden-copy`` finding.
+"""
+
+
+def apply_write(store, offset, data):
+    remaining = memoryview(data)
+    old = store[offset]
+    new = old[:4] + bytes(remaining[:4]) + old[8:]
+    return new

@@ -1,0 +1,15 @@
+"""Mutation fixture: concatenation padding of a borrowed view.
+
+repro: hot-path
+
+The pre-fix shape of distribution._fetch_packet's short-read padding:
+``view + b"..."`` forces a flattening copy of the payload on the read
+hot path.  Expected: exactly one ``hidden-copy`` finding.
+"""
+
+
+def pad(packet, length):
+    payload = packet.payload
+    if len(payload) < length:
+        payload = payload + b"\x00" * (length - len(payload))
+    return payload

@@ -1,0 +1,12 @@
+"""Mutation fixture: ljust padding builds a fresh copy.
+
+repro: hot-path
+
+``.ljust()`` allocates and fills a brand-new object; hot paths pad by
+writing into a preallocated buffer.  Expected: exactly one
+``hidden-copy`` finding.
+"""
+
+
+def pad_block(chunk, block_size):
+    return chunk.ljust(block_size, b"\x00")

@@ -1,0 +1,16 @@
+"""Mutation fixture: a per-byte Python loop over a view.
+
+repro: hot-path
+
+Iterating a view byte-by-byte costs an object cycle per byte; hot paths
+must use whole-buffer operations.  Expected: exactly one ``hidden-copy``
+finding.
+"""
+
+
+def checksum(data):
+    view = memoryview(data)
+    total = 0
+    for byte in view:
+        total = total + byte
+    return total % 251

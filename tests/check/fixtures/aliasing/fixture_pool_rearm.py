@@ -1,0 +1,12 @@
+"""Mutation fixture: a pooled event referenced past the free-list append.
+
+After ``timeout_pool.append(event)`` the pool owns the object and may
+re-arm it as a different logical event; the trailing read races that
+re-arm.  Expected: exactly one ``pool-leak`` finding.
+"""
+
+
+def recycle(event, timeout_pool):
+    event.callbacks = []
+    timeout_pool.append(event)
+    return event.delay

@@ -1,0 +1,13 @@
+"""Mutation fixture: backing buffer swapped out from under a live view.
+
+Rebinding the buffer name is a buffer swap; the old backing keeps the
+view alive but nothing else writes to it again.  Expected: exactly one
+``view-escape`` finding.
+"""
+
+
+def rotate():
+    buffer = bytearray(64)
+    view = memoryview(buffer)
+    buffer = bytearray(64)
+    return view[0]

@@ -1,0 +1,11 @@
+"""Mutation fixture: a borrowed view appended to a self-owned container.
+
+The list outlives the call, so the borrow escapes its frame.  Expected:
+exactly one ``view-escape`` finding.
+"""
+
+
+class Collector:
+    def keep(self, packet):
+        piece = packet.payload
+        self._pieces.append(piece)

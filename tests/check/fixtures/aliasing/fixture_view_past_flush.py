@@ -1,0 +1,13 @@
+"""Mutation fixture: a view of the write buffer read after flush.
+
+``flush()`` may swap or drain the self-owned buffer wholesale, so the
+view taken before it dangles.  Expected: exactly one ``view-escape``
+finding.
+"""
+
+
+class Writer:
+    def drain(self):
+        view = memoryview(self._write_buffer)
+        self.flush()
+        return view.tobytes()

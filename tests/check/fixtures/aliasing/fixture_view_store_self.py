@@ -1,0 +1,12 @@
+"""Mutation fixture: a borrowed packet view parked on self.
+
+``packet.payload`` is a zero-copy slice of the sender's buffer (see the
+annotation table in repro.check.aliasing); storing it on the instance
+outlives the borrow.  Expected: exactly one ``view-escape`` finding.
+"""
+
+
+class Assembler:
+    def stash(self, packet):
+        view = packet.payload
+        self._kept = view

@@ -1,0 +1,73 @@
+"""Bit-identity regression tests for the zero-copy write/read fixes.
+
+Pins the behaviour of the two hidden-copy removals the aliasing pass
+motivated: distribution._fetch_packet's preallocated short-read padding
+and distribution.write's copy-only-when-writable input freeze (plus the
+slice-assigning block installer in simdisk.filesystem._apply_write).
+"""
+
+import pytest
+
+from repro.core import build_local_swift
+from repro.core.buffered import BufferedSwiftFile
+
+
+@pytest.fixture()
+def handle():
+    deployment = build_local_swift(num_agents=3)
+    return deployment.client().open("obj", "w", striping_unit=4096)
+
+
+def test_sparse_write_reads_back_zero_holes(handle):
+    # Holes exercise the short-read padding path: agents answer with
+    # fewer bytes than requested and the client pads with zeros.
+    handle.pwrite(1000, b"end")
+    handle.pwrite(0, b"start")
+    expected = b"start" + b"\x00" * 995 + b"end"
+    assert handle.pread(0, 1003) == expected
+
+
+def test_readahead_past_eof_pads_identically(handle):
+    # The buffered read-ahead requests a full buffer regardless of the
+    # object size, driving the padding path on every tail read.
+    payload = bytes(range(256))
+    buffered = BufferedSwiftFile(handle, buffer_size=4096)
+    buffered.write(payload)
+    buffered.flush()
+    buffered.seek(0)
+    assert buffered.read(len(payload)) == payload
+
+
+def test_readonly_memoryview_input_is_bit_identical():
+    payload = bytes(range(256)) * 32
+
+    def run(data):
+        deployment = build_local_swift(num_agents=3)
+        h = deployment.client().open("obj", "w", striping_unit=4096)
+        h.pwrite(0, data)
+        return h.pread(0, len(payload)), deployment.env.now
+
+    plain = run(payload)
+    through_view = run(memoryview(payload))
+    assert plain == through_view
+    assert plain[0] == payload
+
+
+def test_writable_input_is_snapshotted_once(handle):
+    source = bytearray(b"immutable-in-flight" * 100)
+    original = bytes(source)
+    handle.pwrite(0, source)
+    source[:] = b"\xff" * len(source)  # caller mutates after the write
+    assert handle.pread(0, len(original)) == original
+
+
+def test_unaligned_overwrites_install_exact_bytes(handle):
+    # Odd offsets and spans crossing block boundaries exercise the
+    # slice-assigning _apply_write on partial first/last blocks.
+    base = bytes((i * 7 + 3) % 256 for i in range(5000))
+    handle.pwrite(0, base)
+    expected = bytearray(base)
+    for offset, piece in ((3, b"XYZ"), (1021, b"Q" * 2050), (4999, b"!")):
+        handle.pwrite(offset, piece)
+        expected[offset:offset + len(piece)] = piece
+    assert handle.pread(0, len(expected)) == bytes(expected)
