@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test lint check-aliasing check-model check-model-full bench bench-full bench-smoke tables figures examples clean
+.PHONY: install test lint check-aliasing check-effects check-model check-model-full bench bench-full bench-smoke tables figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -11,11 +11,10 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# One merged run of every static/model pass (determinism, races, units,
+# aliasing, protocol model, effects) with per-pass timing and one exit code.
 lint:
-	$(PYTHON) -m repro check --json
-	$(PYTHON) -m repro check --races --json
-	$(PYTHON) -m repro check --units src/ --json
-	$(PYTHON) -m repro check --aliasing src/ --json
+	$(PYTHON) -m repro check --all --retransmits 1 --json
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks; \
 	else \
@@ -26,6 +25,11 @@ lint:
 # over the package, failing on any finding (see docs/CHECKING.md).
 check-aliasing:
 	$(PYTHON) -m repro check --aliasing src/ --fail-on error
+
+# Effect/purity pass: call-graph cache-soundness, worker-hermeticity and
+# bench-determinism contracts over the package (see docs/CHECKING.md).
+check-effects:
+	$(PYTHON) -m repro check --effects src/ --fail-on error
 
 # Bounded protocol model-checking smoke (~7 s, ~240k states): the CI gate.
 check-model:

@@ -9,7 +9,12 @@ load-sweep grid:
   (``REPRO_BENCH_WORKERS``, default 4), asserted bit-identical to the
   serial results;
 * **cached** — the same grid resolved entirely from a warm
-  :class:`~repro.sim.ResultCache`.
+  :class:`~repro.sim.ResultCache`;
+* **hermetic cached** — the warm-cache rebuild again, inside
+  :func:`~repro.check.hermetic_sanitize`, to price the runtime
+  hermeticity traps.  The ``hermeticity_sanitizer_overhead_ratio``
+  (hermetic / plain cached wall-clock) is gated by
+  ``check_regression.py``.
 
 The archived ``BENCH_sweep_parallel.json`` records ``cpu_count`` next to
 the wall-clock numbers: on a single-core container the parallel speedup
@@ -25,6 +30,7 @@ from pathlib import Path
 
 from _common import archive_json, bench_workers, scaled
 
+from repro.check import hermetic_sanitize
 from repro.sim import ResultCache, SimConfig, load_sweep
 
 KB = 1 << 10
@@ -70,6 +76,26 @@ def bench_sweep_parallel(benchmark):
         cached_s = time.perf_counter() - start
         assert cached == serial, "cached sweep diverged from serial results"
         assert cache.hits == len(rates), "warm cache still missed"
+        cache_hits, cache_misses = cache.hits, cache.misses
+
+        # The same warm rebuild under the runtime hermeticity traps: a
+        # cache-served sweep must be clean under every trap, and the
+        # traps must stay cheap enough to leave on in CI.  Both sides
+        # repeat the rebuild so the one-time install/snapshot/diff cost
+        # is amortised the way real usage amortises it — one hermetic
+        # block around a whole sweep session, not one per sweep.
+        repeats = 25
+        start = time.perf_counter()
+        for _ in range(repeats):
+            plain = load_sweep(base, rates, cache=cache)
+        plain_repeat_s = time.perf_counter() - start
+        start = time.perf_counter()
+        with hermetic_sanitize():
+            for _ in range(repeats):
+                hermetic = load_sweep(base, rates, cache=cache)
+        hermetic_repeat_s = time.perf_counter() - start
+        assert plain == serial and hermetic == serial, \
+            "hermetic sweep diverged from serial"
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
 
@@ -89,11 +115,18 @@ def bench_sweep_parallel(benchmark):
         "parallel_speedup": serial_s / parallel_s,
         "cached_s": cached_s,
         "cached_speedup": serial_s / cached_s,
+        "cache_hits": cache_hits,
+        "cache_misses": cache_misses,
+        "plain_cached_session_s": plain_repeat_s,
+        "hermetic_cached_session_s": hermetic_repeat_s,
+        "hermeticity_sanitizer_overhead_ratio":
+            hermetic_repeat_s / plain_repeat_s,
         "bit_identical": True,  # asserted above; recorded for the archive
     }
     path = archive_json("BENCH_sweep_parallel", payload)
     print(f"\nsweep: serial {serial_s:.2f}s, "
           f"parallel({workers}w/{payload['cpu_count']}cpu) {parallel_s:.2f}s "
           f"(x{payload['parallel_speedup']:.2f}), "
-          f"cached {cached_s:.3f}s (x{payload['cached_speedup']:.1f}) "
+          f"cached {cached_s:.3f}s (x{payload['cached_speedup']:.1f}), "
+          f"hermetic x{payload['hermeticity_sanitizer_overhead_ratio']:.2f} "
           f"-> {path}")

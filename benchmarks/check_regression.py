@@ -17,10 +17,17 @@ not baseline-relative — it holds the instrumented pools cheap enough
 that sanitized CI runs stay practical.  Baselines archived before the
 sanitizer existed simply lack the key and are not penalised.
 
+The hermeticity sanitizer is gated the same way: a fresh
+``BENCH_sweep_parallel.json`` carries
+``hermeticity_sanitizer_overhead_ratio`` (hermetic warm-cache sweep /
+plain warm-cache sweep), and it must stay under
+``--hermeticity-threshold`` (default 1.5x).  Runs that never archived
+the sweep benchmark skip this gate.
+
 Usage::
 
     python benchmarks/check_regression.py [--threshold 0.20]
-        [--sanitizer-threshold 1.5]
+        [--sanitizer-threshold 1.5] [--hermeticity-threshold 1.5]
 """
 
 from __future__ import annotations
@@ -33,12 +40,17 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).parent
 BASELINE = BENCH_DIR / "baselines" / "BENCH_kernel_events.json"
 FRESH = BENCH_DIR / "results" / "BENCH_kernel_events.json"
+SWEEP_FRESH = BENCH_DIR / "results" / "BENCH_sweep_parallel.json"
 
 #: Metrics gated, with direction: events/sec must not drop.
 GATED_METRIC = "events_per_sec"
 
 #: Fresh-run-only gate: sanitized/plain throughput ratio must stay low.
 SANITIZER_METRIC = "aliasing_sanitizer_overhead_ratio"
+
+#: Fresh-run-only gate on the sweep benchmark: hermetic/plain warm-cache
+#: wall-clock ratio must stay low.
+HERMETICITY_METRIC = "hermeticity_sanitizer_overhead_ratio"
 
 
 def main(argv=None) -> int:
@@ -50,8 +62,13 @@ def main(argv=None) -> int:
                         help="maximum tolerated aliasing-sanitizer "
                              "overhead ratio in the fresh run "
                              "(default 1.5x)")
+    parser.add_argument("--hermeticity-threshold", type=float, default=1.5,
+                        help="maximum tolerated hermeticity-sanitizer "
+                             "overhead ratio in the fresh sweep "
+                             "benchmark (default 1.5x)")
     parser.add_argument("--baseline", type=Path, default=BASELINE)
     parser.add_argument("--fresh", type=Path, default=FRESH)
+    parser.add_argument("--sweep-fresh", type=Path, default=SWEEP_FRESH)
     options = parser.parse_args(argv)
 
     if not options.baseline.exists():
@@ -94,6 +111,22 @@ def main(argv=None) -> int:
                   "the instrumented-pool hot path branch-cheap; see "
                   "docs/CHECKING.md.", file=sys.stderr)
             return 1
+
+    if options.sweep_fresh.exists():
+        sweep = json.loads(options.sweep_fresh.read_text())
+        hermeticity = sweep.get(HERMETICITY_METRIC)
+        if hermeticity is not None:
+            print(f"regression gate: {HERMETICITY_METRIC} measured "
+                  f"{hermeticity:.2f}x (ceiling "
+                  f"{options.hermeticity_threshold:.2f}x)")
+            if hermeticity > options.hermeticity_threshold:
+                print(f"regression gate: FAIL — the hermeticity sanitizer "
+                      f"costs {hermeticity:.2f}x the plain warm-cache sweep "
+                      f"(> {options.hermeticity_threshold:.2f}x allowed).  "
+                      "Keep the trap installers and the snapshot/diff pass "
+                      "out of per-result work; see docs/CHECKING.md.",
+                      file=sys.stderr)
+                return 1
 
     print("regression gate: OK")
     return 0

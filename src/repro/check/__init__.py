@@ -45,6 +45,14 @@ defence:
   (:mod:`repro.check.adversary` — drop, duplicate, reorder, crash,
   stale replies) and exhaustively explores every interleaving up to the
   configured bounds; run with ``python -m repro check --model``.
+* :mod:`repro.check.effects` — a call-graph effect/purity analysis:
+  per-function effect signatures (ambient time/randomness/environment/
+  filesystem/process reads, module-global writes) propagated bottom-up
+  through SCC summaries, then checked against the cache-soundness,
+  worker-hermeticity and bench-determinism contracts; run with
+  ``python -m repro check --effects``.  Its runtime half (ambient-read
+  traps + module-global snapshot/diff around cached runs) lives in
+  :mod:`repro.check.sanitize` as :func:`hermetic_sanitize`.
 
 Run everything from the command line::
 
@@ -53,6 +61,8 @@ Run everything from the command line::
     python -m repro check --units [paths ...] [--json]
     python -m repro check --aliasing [paths ...] [--json]
     python -m repro check --model [--depth N] [--retransmits K]
+    python -m repro check --effects [paths ...] [--json]
+    python -m repro check --all [--json]
 
 which exits non-zero when any violation is found.  Individual lint findings
 can be suppressed with a ``# repro: allow[rule-id]`` comment on the
@@ -61,6 +71,13 @@ offending line (or the line above); see docs/CHECKING.md.
 
 from .adversary import AdversaryBudget
 from .aliasing import ALIAS_RULES, alias_rule_registry, analyze_aliasing
+from .effects import (
+    ALLOWED_GLOBAL_WRITES,
+    EFFECT_RULES,
+    EffectStats,
+    analyze_effects,
+    effect_rule_registry,
+)
 from .findings import Finding, Severity
 from .hb import RaceDetector, RaceError, RaceReport, detect_races
 from .model import (
@@ -89,7 +106,10 @@ from .units import UNIT_RULES, unit_rule_registry
 from .conserve import ConservationError, ConservationLedger, conserve
 from .sanitize import (
     AliasSanitizer,
+    AmbientReadError,
     GuardedView,
+    HermeticityError,
+    HermeticitySanitizer,
     MonotonicityError,
     ResourceLeakError,
     SanitizerError,
@@ -97,6 +117,7 @@ from .sanitize import (
     StaleViewError,
     UseAfterRecycleError,
     alias_sanitize,
+    hermetic_sanitize,
     sanitize,
 )
 
@@ -115,6 +136,11 @@ __all__ = [
     "ALIAS_RULES",
     "alias_rule_registry",
     "analyze_aliasing",
+    "EFFECT_RULES",
+    "ALLOWED_GLOBAL_WRITES",
+    "EffectStats",
+    "analyze_effects",
+    "effect_rule_registry",
     "ConservationError",
     "ConservationLedger",
     "conserve",
@@ -134,6 +160,10 @@ __all__ = [
     "sanitize",
     "alias_sanitize",
     "AliasSanitizer",
+    "hermetic_sanitize",
+    "HermeticitySanitizer",
+    "AmbientReadError",
+    "HermeticityError",
     "GuardedView",
     "SanitizerError",
     "MonotonicityError",

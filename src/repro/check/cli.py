@@ -4,10 +4,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from .adversary import AdversaryBudget
 from .aliasing import alias_rule_registry
+from .effects import analyze_effects, effect_rule_registry
 from .findings import Severity
 from .lint import LintEngine, iter_python_files
 from .model import ModelConfig, check_model, scenario_names
@@ -40,7 +42,8 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
              f"known: {', '.join(sorted(rule_registry()))}; under "
              f"--races: {', '.join(sorted(race_rule_registry()))}; under "
              f"--units: {', '.join(sorted(unit_rule_registry()))}; under "
-             f"--aliasing: {', '.join(sorted(alias_rule_registry()))}")
+             f"--aliasing: {', '.join(sorted(alias_rule_registry()))}; "
+             f"under --effects: {', '.join(sorted(effect_rule_registry()))}")
     parser.add_argument(
         "--no-protocol", action="store_true",
         help="skip the protocol state-machine checker")
@@ -60,6 +63,18 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
         help="run the zero-copy safety lints (view-escape, hidden-copy, "
              "pool-leak) instead of the determinism pass; audits the given "
              "paths (or --root, or the installed package)")
+    parser.add_argument(
+        "--effects", action="store_true",
+        help="run the call-graph effect/purity analysis (effect-ambient-"
+             "read, effect-global-write, effect-unkeyed-input, effect-"
+             "unseeded-random): cache-soundness, worker-hermeticity and "
+             "bench-determinism contracts over the given paths (or "
+             "--root, or the installed package)")
+    parser.add_argument(
+        "--all", action="store_true", dest="all_passes",
+        help="run every pass (determinism+protocol, races, units, "
+             "aliasing, model, effects) and emit one merged report with "
+             "per-pass wall time and a single exit code")
     parser.add_argument(
         "--model", action="store_true",
         help="run the protocol model checker: exhaustively explore the "
@@ -227,6 +242,115 @@ def _run_aliasing(args) -> int:
     return exit_code(findings, fail_on=_fail_threshold(args))
 
 
+def _run_effects(args) -> int:
+    chosen = None
+    if args.rules:
+        registry = effect_rule_registry()
+        chosen = set()
+        for rule_id in (piece.strip() for piece in args.rules.split(",")):
+            if not rule_id:
+                continue
+            if rule_id not in registry:
+                raise SystemExit(
+                    f"unknown rule {rule_id!r}; known rules: "
+                    f"{', '.join(sorted(registry))}")
+            chosen.add(rule_id)
+    roots = _unit_roots(args)
+    findings, stats = analyze_effects(roots)
+    if chosen is not None:
+        findings = [f for f in findings if f.rule_id in chosen]
+    checked = sum(sum(1 for _ in iter_python_files(root)) for root in roots)
+    if args.json:
+        print(render_json(findings, checked_paths=checked,
+                          effects_stats=stats))
+    else:
+        print(render_text(findings, checked_paths=checked,
+                          effects_stats=stats))
+    return exit_code(findings, fail_on=_fail_threshold(args))
+
+
+def _run_all(args) -> int:
+    """Every pass, one merged report, one exit code (``--all``)."""
+    package = Path(__file__).resolve().parent.parent
+    explicit = _explicit_paths(args)
+    if explicit is not None:
+        lint_roots = explicit
+    elif args.root is not None:
+        root = Path(args.root)
+        if not root.exists():
+            raise SystemExit(f"no such path: {root}")
+        lint_roots = [root]
+    else:
+        lint_roots = [package]
+    race_roots = explicit if explicit is not None else [
+        package / name for name in RACE_SCAN_SUBDIRS
+        if (package / name).exists()]
+
+    merged = []
+    passes = []
+    model_stats = None
+    effects_stats = None
+
+    def timed(name, runner):
+        start = time.perf_counter()  # repro: allow[wall-clock]
+        found = runner()
+        seconds = time.perf_counter() - start  # repro: allow[wall-clock]
+        merged.extend(found)
+        passes.append({"name": name, "seconds": round(seconds, 3),
+                       "findings": len(found)})
+
+    def determinism():
+        engine = LintEngine()
+        found = []
+        for root in lint_roots:
+            found.extend(engine.check_tree(root))
+            if not args.no_protocol:
+                found.extend(check_protocol(root))
+        return found
+
+    def per_file_pass(registry, roots):
+        engine = LintEngine(
+            rules=[rule() for rule in registry.values()])
+        found = []
+        for root in roots:
+            found.extend(engine.check_tree(root))
+        return found
+
+    def model():
+        nonlocal model_stats
+        config = ModelConfig(max_depth=args.depth,
+                             retransmit_bound=args.retransmits,
+                             budget=AdversaryBudget())
+        found, model_stats = check_model(config)
+        return found
+
+    def effects():
+        nonlocal effects_stats
+        found, effects_stats = analyze_effects(lint_roots)
+        return found
+
+    timed("determinism", determinism)
+    timed("races", lambda: per_file_pass(race_rule_registry(), race_roots))
+    timed("units", lambda: per_file_pass(unit_rule_registry(), lint_roots))
+    timed("aliasing",
+          lambda: per_file_pass(alias_rule_registry(), lint_roots))
+    timed("model", model)
+    timed("effects", effects)
+
+    merged.sort(key=lambda f: (str(f.path), f.line, f.rule_id))
+    checked = sum(sum(1 for _ in iter_python_files(root))
+                  for root in lint_roots)
+    if args.json:
+        print(render_json(merged, checked_paths=checked,
+                          model_stats=model_stats,
+                          effects_stats=effects_stats, passes=passes))
+    else:
+        print(render_text(merged, checked_paths=checked,
+                          model_stats=model_stats,
+                          effects_stats=effects_stats, passes=passes))
+    return exit_code(merged, fail_on=_fail_threshold(args))
+
+
 def run_check_command(args) -> int:
     """Execute ``repro check`` with parsed ``args``; returns exit code."""
     if args.list_rules:
@@ -238,6 +362,8 @@ def run_check_command(args) -> int:
             print(f"{rule_id:<18} {rule.summary} [--units]")
         for rule_id, rule in sorted(alias_rule_registry().items()):
             print(f"{rule_id:<18} {rule.summary} [--aliasing]")
+        for rule_id, rule in sorted(effect_rule_registry().items()):
+            print(f"{rule_id:<22} {rule.summary} [--effects]")
         print(f"{'protocol-spec':<18} spec vocabulary matches "
               "agent_protocol.py")
         print(f"{'protocol-machine':<18} state machines are sound "
@@ -260,8 +386,14 @@ def run_check_command(args) -> int:
               "exactly the spec machines' edges [--model]")
         return 0
 
+    if args.all_passes:
+        return _run_all(args)
+
     if args.model:
         return _run_model(args)
+
+    if args.effects:
+        return _run_effects(args)
 
     if args.races:
         return _run_races(args)

@@ -27,10 +27,15 @@ SUPPRESS_PATTERN = re.compile(
 RULE_GROUPS: dict[str, tuple[str, ...]] = {
     "units": ("unit-",),
     "aliasing": ("view-escape", "hidden-copy", "pool-leak"),
+    "effects": ("effect-",),
 }
 
-#: Directories never linted (caches, checker test fixtures).
-_SKIP_DIR_NAMES = {"__pycache__", ".git", ".pytest_cache"}
+#: Directories never descended into (caches, checker test fixtures).
+#: The ``fixtures`` entry keeps broad walks (e.g. the nightly sweep over
+#: ``tests/``) out of the intentionally-buggy mutation fixtures; it only
+#: applies *below* the requested root, so pointing a pass directly at a
+#: fixture directory (as the fixture tests do) still audits it.
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".pytest_cache", "fixtures"}
 
 
 class Rule:
@@ -75,7 +80,8 @@ def iter_python_files(root: Path) -> Iterator[Path]:
         yield root
         return
     for path in sorted(root.rglob("*.py")):
-        if not any(part in _SKIP_DIR_NAMES for part in path.parts):
+        below_root = path.relative_to(root).parts[:-1]
+        if not any(part in _SKIP_DIR_NAMES for part in below_root):
             yield path
 
 

@@ -10,7 +10,9 @@ from .findings import Finding, Severity
 __all__ = ["render_text", "render_json", "exit_code"]
 
 #: Bumped when the JSON shape changes, so CI consumers can pin it.
-REPORT_FORMAT_VERSION = 1
+#: 2: added optional ``effects`` stats and the ``passes`` array emitted
+#: by ``repro check --all`` (per-pass wall time + finding counts).
+REPORT_FORMAT_VERSION = 2
 
 
 def exit_code(findings: Sequence[Finding],
@@ -26,7 +28,8 @@ def exit_code(findings: Sequence[Finding],
 
 
 def render_text(findings: Sequence[Finding], checked_paths: int = 0,
-                model_stats=None) -> str:
+                model_stats=None, effects_stats=None,
+                passes: Sequence[dict] | None = None) -> str:
     """Editor-clickable one-line-per-finding report with a summary."""
     lines = [finding.format() for finding in findings]
     errors = sum(1 for f in findings if f.severity is Severity.ERROR)
@@ -35,6 +38,13 @@ def render_text(findings: Sequence[Finding], checked_paths: int = 0,
         lines.append("")
     if model_stats is not None:
         lines.append(model_stats.render_text())
+    if effects_stats is not None:
+        lines.append(effects_stats.render_text())
+    if passes:
+        for entry in passes:
+            lines.append(
+                f"pass {entry['name']:<12} {entry['seconds']:7.2f}s  "
+                f"{entry['findings']} finding(s)")
     summary = f"{errors} error(s), {warnings} warning(s)"
     if checked_paths:
         summary += f" across {checked_paths} file(s)"
@@ -43,7 +53,8 @@ def render_text(findings: Sequence[Finding], checked_paths: int = 0,
 
 
 def render_json(findings: Sequence[Finding], checked_paths: int = 0,
-                model_stats=None) -> str:
+                model_stats=None, effects_stats=None,
+                passes: Sequence[dict] | None = None) -> str:
     """The ``repro check --json`` report (one JSON object, stable keys)."""
     by_rule: dict[str, int] = {}
     for finding in findings:
@@ -63,4 +74,8 @@ def render_json(findings: Sequence[Finding], checked_paths: int = 0,
     }
     if model_stats is not None:
         payload["model"] = model_stats.to_dict()
+    if effects_stats is not None:
+        payload["effects"] = effects_stats.to_dict()
+    if passes:
+        payload["passes"] = list(passes)
     return json.dumps(payload, indent=2, sort_keys=False)

@@ -46,7 +46,9 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["sanitize", "Sanitizer", "SanitizerError", "MonotonicityError",
            "ResourceLeakError", "SharedStreamError",
            "alias_sanitize", "AliasSanitizer", "GuardedView",
-           "StaleViewError", "UseAfterRecycleError"]
+           "StaleViewError", "UseAfterRecycleError",
+           "hermetic_sanitize", "HermeticitySanitizer",
+           "AmbientReadError", "HermeticityError"]
 
 #: Touching a recycled pooled event raises this (re-exported from the
 #: event layer so sanitizer users need one import).
@@ -603,3 +605,287 @@ def alias_sanitize(env: "Environment", stack_depth: int = 4):
         yield monitor
     finally:
         monitor.uninstall()
+
+
+# -- hermeticity sanitizer (the runtime half of `repro check --effects`) ----
+
+
+class AmbientReadError(SanitizerError):
+    """Trapped ambient state (wall clock, module-level randomness,
+    ``os.environ``) was read inside a hermetic block."""
+
+
+class HermeticityError(SanitizerError):
+    """Registered module-global state changed across a hermetic block."""
+
+
+#: ``time`` functions trapped inside a hermetic block.  ``perf_counter``
+#: (and ``perf_counter_ns``) is deliberately *not* trapped: it is the
+#: blessed benchmarking clock, read by the very harness that wraps
+#: cached runs in this sanitizer.
+_TRAPPED_TIME = ("time", "time_ns", "monotonic", "monotonic_ns",
+                 "process_time", "process_time_ns")
+
+#: ``random`` module-level draw functions trapped inside a hermetic
+#: block.  Patching the module leaves ``random.Random`` *instances*
+#: (``RandomStream._rng``) untouched — exactly the sanctioned/forbidden
+#: split the static ``effect-unseeded-random`` rule enforces.
+_TRAPPED_RANDOM = ("random", "randint", "randrange", "uniform", "choice",
+                   "choices", "shuffle", "sample", "expovariate", "gauss",
+                   "normalvariate", "betavariate", "gammavariate",
+                   "paretovariate", "vonmisesvariate", "weibullvariate",
+                   "triangular", "lognormvariate", "getrandbits",
+                   "randbytes", "seed")
+
+#: Module-global types worth fingerprinting: mutable containers plus
+#: the ``itertools.count`` id-counter idiom (its repr advances with it).
+_MUTABLE_TYPE_NAMES = ("count",)
+
+
+class _TrappedEnviron:
+    """Swapped in for ``os.environ``: every access is a violation.
+
+    ``os.getenv`` resolves ``environ`` from the ``os`` module globals at
+    call time, so replacing the one object traps both spellings.
+    """
+
+    __slots__ = ("_sanitizer", "_real")
+
+    def __init__(self, sanitizer: "HermeticitySanitizer", real):
+        object.__setattr__(self, "_sanitizer", sanitizer)
+        object.__setattr__(self, "_real", real)
+
+    def _trip(self, how: str):
+        self._sanitizer._trip(f"os.environ {how}")
+
+    def __getitem__(self, key):
+        self._trip(f"[{key!r}] access")
+
+    def __setitem__(self, key, value):
+        self._trip(f"[{key!r}] write")
+
+    def __delitem__(self, key):
+        self._trip(f"[{key!r}] delete")
+
+    def __contains__(self, key):
+        self._trip(f"membership test for {key!r}")
+
+    def __iter__(self):
+        self._trip("iteration")
+
+    def __len__(self):
+        self._trip("len()")
+
+    def get(self, key, default=None):
+        self._trip(f".get({key!r}) access")
+
+    def setdefault(self, key, default=None):
+        self._trip(f".setdefault({key!r})")
+
+    def pop(self, key, *default):
+        self._trip(f".pop({key!r})")
+
+    def update(self, *args, **kwargs):
+        self._trip(".update(...)")
+
+    def keys(self):
+        self._trip(".keys() access")
+
+    def values(self):
+        self._trip(".values() access")
+
+    def items(self):
+        self._trip(".items() access")
+
+    def copy(self):
+        self._trip(".copy() access")
+
+
+class HermeticitySanitizer:
+    """Runtime cache-soundness check: the dynamic half of
+    ``repro check --effects``.
+
+    Wrap the block that computes a to-be-cached result.  Two mechanisms:
+
+    * **ambient-read traps** — ``time.time``/``monotonic`` (but not the
+      benchmarking ``perf_counter``), every ``random`` module-level draw
+      function, and ``os.environ``/``os.getenv`` are replaced with trip
+      wires for the duration of the block.  Any call raises
+      :class:`AmbientReadError` carrying the block's entry-site stack
+      plus the use site (the exception's own traceback) — the same dual
+      stacks the :class:`AliasSanitizer` reports.  Seeded
+      ``random.Random`` *instances* (``RandomStream._rng``) keep working:
+      only the ambient module-level state is fenced off.
+    * **module-global snapshot/diff** — mutable module-level objects
+      (dicts, lists, sets, bytearrays, ``itertools.count`` counters)
+      across the watched modules are fingerprinted on install; at
+      :meth:`finish` any fingerprint drift outside ``allowed`` raises
+      :class:`HermeticityError` naming every global that changed.  This
+      is the runtime face of ``effect-global-write`` /
+      ``effect-unkeyed-input``: state the cache key cannot see must not
+      change while producing a cacheable result.
+
+    ``allowed`` defaults to the same declared exception list the static
+    pass uses (:data:`repro.check.effects.ALLOWED_GLOBAL_WRITES` — the
+    ``sim.cache._code_version_cache`` per-process memo).
+
+    The traps patch process-wide module attributes: hermetic blocks are
+    for serial in-process runs (don't wrap pool *dispatch*, wrap the
+    worker body or a serial re-read).
+    """
+
+    def __init__(self, allowed=None, stack_depth: int = 4,
+                 trap_time: bool = True, trap_random: bool = True,
+                 trap_environ: bool = True):
+        if allowed is None:
+            from .effects import ALLOWED_GLOBAL_WRITES
+            allowed = ALLOWED_GLOBAL_WRITES
+        self.allowed = frozenset(allowed)
+        self.stack_depth = stack_depth
+        self.trap_time = trap_time
+        self.trap_random = trap_random
+        self.trap_environ = trap_environ
+        #: (module name, attr) pairs under snapshot/diff.
+        self._watched: list[tuple[str, str]] = []
+        self._baseline: dict[tuple[str, str], str] = {}
+        self._saved: list[tuple[object, str, object]] = []
+        self._entry_frames: tuple = ()
+        self._installed = False
+        #: Ambient reads trapped (for tests/introspection).
+        self.trips = 0
+
+    # -- watch registration -------------------------------------------------
+
+    def watch_module(self, module) -> None:
+        """Fingerprint every mutable module-level object in ``module``."""
+        for attr in sorted(vars(module)):
+            if attr.startswith("__"):
+                continue
+            value = vars(module)[attr]
+            if isinstance(value, (dict, list, set, bytearray)) or \
+                    type(value).__name__ in _MUTABLE_TYPE_NAMES:
+                entry = (module.__name__, attr)
+                if entry not in self._watched:
+                    self._watched.append(entry)
+
+    def watch_package(self, prefix: str = "repro") -> None:
+        """Watch every already-imported module under ``prefix``."""
+        for name in sorted(sys.modules):
+            module = sys.modules[name]
+            if module is None:
+                continue
+            if name == prefix or name.startswith(prefix + "."):
+                self.watch_module(module)
+
+    def _fingerprint(self, module_name: str, attr: str) -> str:
+        module = sys.modules.get(module_name)
+        if module is None:  # pragma: no cover - module dropped mid-run
+            return "<gone>"
+        value = getattr(module, attr, None)
+        if isinstance(value, dict):
+            return repr(sorted((repr(k), repr(v))
+                               for k, v in value.items()))
+        if isinstance(value, set):
+            return repr(sorted(repr(item) for item in value))
+        return repr(value)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def install(self) -> None:
+        """Snapshot watched globals and arm the ambient-read traps."""
+        if self._installed:  # pragma: no cover - defensive
+            return
+        self._entry_frames = _capture_frames(self.stack_depth, skip=2)
+        for entry in self._watched:
+            self._baseline[entry] = self._fingerprint(*entry)
+        if self.trap_time:
+            import time as time_module
+            for name in _TRAPPED_TIME:
+                self._patch(time_module, name,
+                            self._make_trap(f"time.{name}()"))
+        if self.trap_random:
+            import random as random_module
+            for name in _TRAPPED_RANDOM:
+                self._patch(random_module, name,
+                            self._make_trap(f"random.{name}()"))
+        if self.trap_environ:
+            import os as os_module
+            self._patch(os_module, "environ",
+                        _TrappedEnviron(self, os_module.environ))
+        self._installed = True
+
+    def uninstall(self) -> None:
+        """Disarm every trap (snapshots stay for :meth:`finish`)."""
+        if not self._installed:  # pragma: no cover - defensive
+            return
+        for module, name, original in reversed(self._saved):
+            setattr(module, name, original)
+        self._saved.clear()
+        self._installed = False
+
+    def finish(self) -> None:
+        """Diff the snapshots; raise on undeclared global drift."""
+        drifted = []
+        for entry in self._watched:
+            qualname = ".".join(entry)
+            if qualname in self.allowed:
+                continue
+            now = self._fingerprint(*entry)
+            if now != self._baseline.get(entry, now):
+                drifted.append(qualname)
+        if drifted:
+            raise HermeticityError(
+                f"{len(drifted)} module global(s) changed across a "
+                "hermetic block — this state is invisible to the cache "
+                "key, so the cached result is not a pure function of "
+                "(SimConfig, code version):\n"
+                + "\n".join(f"  {name}" for name in sorted(drifted))
+                + "\nhermetic block entered at:\n"
+                + _render_frames(self._entry_frames))
+
+    # -- trap plumbing ------------------------------------------------------
+
+    def _patch(self, module, name: str, replacement) -> None:
+        self._saved.append((module, name, getattr(module, name)))
+        setattr(module, name, replacement)
+
+    def _make_trap(self, label: str):
+        def trap(*args, **kwargs):
+            self._trip(label)
+        return trap
+
+    def _trip(self, label: str):
+        self.trips += 1
+        raise AmbientReadError(
+            f"{label} read inside a hermetic block; a cached result must "
+            "be a pure function of (SimConfig, code version) — draw from "
+            "a seeded StreamFactory stream or move the read outside the "
+            "cached run\n"
+            "hermetic block entered at:\n"
+            + _render_frames(self._entry_frames)
+            + "\nuse site: this exception's own traceback")
+
+
+@contextmanager
+def hermetic_sanitize(allowed=None, watch_prefix: str = "repro",
+                      stack_depth: int = 4, trap_time: bool = True,
+                      trap_random: bool = True, trap_environ: bool = True):
+    """Run a cached computation under the hermeticity sanitizer.
+
+    Watches every imported module under ``watch_prefix``, arms the
+    ambient-read traps, and at block exit diffs the module-global
+    snapshots.  Raises :class:`AmbientReadError` at the offending read
+    and :class:`HermeticityError` at exit on undeclared global drift; a
+    body exception propagates unmasked (traps disarmed, no diff).
+    """
+    monitor = HermeticitySanitizer(
+        allowed=allowed, stack_depth=stack_depth, trap_time=trap_time,
+        trap_random=trap_random, trap_environ=trap_environ)
+    if watch_prefix:
+        monitor.watch_package(watch_prefix)
+    monitor.install()
+    try:
+        yield monitor
+    finally:
+        monitor.uninstall()
+    monitor.finish()

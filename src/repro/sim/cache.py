@@ -9,9 +9,10 @@ so a completed :class:`~repro.sim.model.SimResult` can be replayed from
 disk bit-for-bit.
 
 The cache key is a SHA-256 digest over the canonical JSON form of the
-config plus a digest of the ``repro`` package sources, so *any* source
-change invalidates every entry — coarse, but sound: no stale results can
-survive a model change.  Entries only exist for plain runs (no
+config plus the cache format number, the serialisation schema (dataclass
+field names), and a digest of the ``repro`` package sources, so *any*
+source or schema change invalidates every entry — coarse, but sound: no
+stale results can survive a model change.  Entries only exist for plain runs (no
 ``storage_factory``, no ``trace``): callables and traces are not part of
 the key, so runs using them are never cached.
 """
@@ -29,7 +30,7 @@ from ..simdisk import DiskSpec
 from .model import SimResult
 from .workload import SimConfig
 
-__all__ = ["ResultCache", "config_key", "code_version"]
+__all__ = ["ResultCache", "config_key", "code_version", "cache_schema"]
 
 #: Bumping this invalidates every cache entry even without a source change
 #: (e.g. when the serialisation format itself evolves).
@@ -38,36 +39,70 @@ CACHE_FORMAT = 1
 _code_version_cache: dict[str, str] = {}
 
 
-def code_version() -> str:
+def _digest_sources(root: Path, sources) -> str:
+    """Digest path-relative names + contents of ``sources`` (iterated in
+    the order given; callers sort).  Factored out so tests can prove the
+    digest is a function of the *set* of (name, bytes) pairs and nothing
+    else — not of enumeration order, not of the absolute checkout path.
+    """
+    digest = hashlib.sha256()
+    for source in sources:
+        digest.update(source.relative_to(root).as_posix().encode())
+        digest.update(b"\x00")
+        digest.update(source.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def code_version(root: Optional[Path] = None) -> str:
     """Digest of every ``repro`` source file; memoised per process.
 
     Hashes path-relative names and file contents of all ``.py`` files
     under the package root in sorted order, so the result is independent
     of filesystem enumeration order and of where the tree is checked out.
+    ``root`` overrides the package root (tests digest scratch trees
+    without touching the memo).
     """
+    if root is not None:
+        return _digest_sources(root, sorted(Path(root).rglob("*.py")))
     cached = _code_version_cache.get("digest")
     if cached is not None:
         return cached
     package_root = Path(__file__).resolve().parents[1]
-    digest = hashlib.sha256()
-    for source in sorted(package_root.rglob("*.py")):
-        digest.update(source.relative_to(package_root).as_posix().encode())
-        digest.update(b"\x00")
-        digest.update(source.read_bytes())
-        digest.update(b"\x00")
-    version = digest.hexdigest()
+    version = _digest_sources(package_root,
+                              sorted(package_root.rglob("*.py")))
     _code_version_cache["digest"] = version
     return version
 
 
+def cache_schema() -> dict:
+    """The serialisation schema: field names of every dataclass a cache
+    entry round-trips through.
+
+    Folded into :func:`config_key` so adding/renaming/removing a field on
+    :class:`SimResult`, :class:`SimConfig` or :class:`DiskSpec` changes
+    every key even when no source byte under ``repro/`` changed (e.g. a
+    field injected by test monkey-patching, or a future schema loaded
+    from config) — and so the *schema* dependency is explicit rather
+    than riding along with the code digest.
+    """
+    return {
+        "result": [f.name for f in dataclasses.fields(SimResult)],
+        "config": [f.name for f in dataclasses.fields(SimConfig)],
+        "disk": [f.name for f in dataclasses.fields(DiskSpec)],
+    }
+
+
 def config_key(config: SimConfig, version: Optional[str] = None) -> str:
-    """The cache key of one run: sha256 of (format, code, canonical config).
+    """The cache key of one run: sha256 of (format, schema, code,
+    canonical config).
 
     ``version`` defaults to :func:`code_version`; tests inject fixed
     strings to probe key stability without hashing the tree.
     """
     payload = {
         "format": CACHE_FORMAT,
+        "schema": cache_schema(),
         "code": code_version() if version is None else version,
         "config": dataclasses.asdict(config),
     }

@@ -1,0 +1,33 @@
+"""Clean fixture: the sanctioned counterparts of every effects mutation.
+
+All randomness flows through a seeded stream object handed in by the
+caller, tuning comes from the config, constants are immutable
+module-level values (covered by the code digest), and nothing touches
+the clock, the environment, or the filesystem.
+"""
+
+BLOCK_SIZE = 4096  # immutable module constant: keyed by the code digest
+
+
+def run_cached(config, streams):
+    """repro: cached-entry"""
+    return _simulate(config, streams)
+
+
+def sweep_worker(task):
+    """repro: worker-entry"""
+    config, streams = task
+    return run_cached(config, streams)
+
+
+def bench_arrivals(count, stream):
+    """repro: bench-entry"""
+    return [stream.expovariate(1.0) for _ in range(count)]
+
+
+def _simulate(config, streams):
+    return _service_time(BLOCK_SIZE, streams)
+
+
+def _service_time(nbytes, streams):
+    return nbytes / 1.0e6 + streams.uniform(0.0, 1e-6)

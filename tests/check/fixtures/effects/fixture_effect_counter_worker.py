@@ -1,0 +1,19 @@
+"""Mutation fixture: ``itertools.count`` id counter advanced in a worker.
+
+``next()`` on a module-global iterator is a write: ids assigned in a
+reused pool process depend on how many tasks it served before, so a
+result that embeds them is not reproducible.
+"""
+
+import itertools
+
+_op_ids = itertools.count(1)
+
+
+def sweep_worker(task):
+    """repro: worker-entry"""
+    return _stamp(task)
+
+
+def _stamp(task):
+    return (next(_op_ids), task)

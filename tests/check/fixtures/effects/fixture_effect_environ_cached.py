@@ -1,0 +1,21 @@
+"""Mutation fixture: ``os.environ`` read under a cached run.
+
+An environment-tuned pipeline depth changes the simulated schedule but
+is invisible to the cache key, so two hosts (or two shells) silently
+share poisoned cache entries.
+"""
+
+import os
+
+
+def run_cached(config):
+    """repro: cached-entry"""
+    return simulate(config, pipeline_depth())
+
+
+def pipeline_depth():
+    return int(os.environ.get("SWIFT_PIPELINE_DEPTH", "4"))
+
+
+def simulate(config, depth):
+    return depth * 1.0

@@ -1,0 +1,21 @@
+"""Mutation fixture: filesystem read under a cached run.
+
+A calibration file loaded mid-run makes the result a function of
+whatever happens to be on disk — invisible to the cache key and
+different on every host.
+"""
+
+from pathlib import Path
+
+
+def run_cached(config):
+    """repro: cached-entry"""
+    return _simulate(config, _calibration())
+
+
+def _calibration():
+    return float(Path("/etc/swift/seek_ms").read_text())
+
+
+def _simulate(config, seek_ms):
+    return seek_ms * 2.0

@@ -1,0 +1,26 @@
+"""Mutation fixture: module-global accumulator mutated in a sweep worker.
+
+Pool workers are reused across tasks: the accumulator survives from one
+task to the next, so a worker's result depends on which tasks its
+process happened to run before — the classic hermeticity bug.
+"""
+
+_completed_rates: dict = {}
+
+
+def sweep_worker(task):
+    """One pool-dispatched sweep cell.
+
+    repro: worker-entry
+    """
+    rate, result = _run(task)
+    _record(rate, result)
+    return result
+
+
+def _run(task):
+    return task[0], task[0] * 2.0
+
+
+def _record(rate, result):
+    _completed_rates[rate] = result

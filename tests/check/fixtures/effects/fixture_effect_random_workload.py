@@ -1,0 +1,19 @@
+"""Mutation fixture: bare ``random.random()`` in a workload generator.
+
+Benchmark arrivals drawn from the ambient module-level RNG cannot be
+replayed: every invocation reports a different curve.
+"""
+
+import random  # repro: allow[raw-random]
+
+
+def bench_arrivals(count):
+    """Generate the benchmark arrival gaps.
+
+    repro: bench-entry
+    """
+    return [_gap() for _ in range(count)]
+
+
+def _gap():
+    return -0.1 * random.random()  # repro: allow[unseeded-rng]

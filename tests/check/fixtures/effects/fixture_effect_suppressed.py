@@ -1,0 +1,17 @@
+"""Suppressed twin: the time-service violation under ``allow[effects]``.
+
+The group alias covers every ``effect-*`` rule, so the pass reports
+nothing here; the shipped tree's acceptance bar is zero of these.
+"""
+
+import time
+
+
+def run_cached(config):
+    """repro: cached-entry"""
+    return service_time(4096)
+
+
+def service_time(nbytes):
+    jitter = time.time() % 1e-6  # repro: allow[effects, wall-clock]
+    return nbytes / 1.0e6 + jitter

@@ -1,0 +1,28 @@
+"""Mutation fixture: hidden wall-clock read in a disk service-time model.
+
+The cached entry point never touches the clock itself — the violation
+hides two calls down, which is exactly what the straight-line lints
+cannot see and the call-graph pass must.
+"""
+
+import time
+
+
+def run_cached(config):
+    """One cacheable simulation run.
+
+    repro: cached-entry
+    """
+    total = 0.0
+    for _ in range(8):
+        total += _disk_pass(config)
+    return total
+
+
+def _disk_pass(config):
+    return service_time(4096)
+
+
+def service_time(nbytes):
+    jitter = time.time() % 1e-6  # repro: allow[wall-clock]
+    return nbytes / 1.0e6 + jitter

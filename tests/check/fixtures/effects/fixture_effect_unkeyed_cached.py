@@ -1,0 +1,21 @@
+"""Mutation fixture: cached run reads mutable module-level tuning state.
+
+``set_tuning`` mutates the table, so its value at run time depends on
+call history — state the cache key never sees.  (A module-level
+*constant* would be fine: the code digest covers it.)
+"""
+
+_tuning: dict = {"batch": 8}
+
+
+def set_tuning(key, value):
+    _tuning[key] = value
+
+
+def run_cached(config):
+    """repro: cached-entry"""
+    return _simulate(config)
+
+
+def _simulate(config):
+    return _tuning["batch"] * 1.0

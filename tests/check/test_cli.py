@@ -28,7 +28,7 @@ def test_json_report_is_machine_readable(capsys):
     assert code == 1
     report = json.loads(capsys.readouterr().out)
     assert report["tool"] == "repro-check"
-    assert report["format_version"] == 1
+    assert report["format_version"] == 2
     assert report["summary"]["errors"] >= 1
     assert report["summary"]["by_rule"]["wall-clock"] == 1
     by_line = {(f["rule"], Path(f["path"]).name) for f in report["findings"]}
