@@ -45,10 +45,13 @@ bench:
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# CI perf gate: kernel events/sec + a 2-worker mini-sweep, then fail on a
-# >20% kernel throughput regression vs benchmarks/baselines/.
+# CI perf gate: kernel events/sec, the batched-vs-unbatched cohort A/B
+# (bit-identity asserted), and a 2-worker mini-sweep; then fail on a
+# >20% throughput regression vs benchmarks/baselines/, a detector or
+# sanitizer overhead ceiling, or a cohort bit-identity mismatch.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_kernel_events.py --benchmark-only
+	$(PYTHON) -m pytest benchmarks/bench_kernel_batched.py --benchmark-only
 	REPRO_BENCH_WORKERS=2 $(PYTHON) -m pytest benchmarks/bench_sweep_parallel.py --benchmark-only
 	$(PYTHON) benchmarks/check_regression.py
 

@@ -1,0 +1,121 @@
+"""A/B microbenchmark: cohort dispatch against the one-heap reference.
+
+Not a paper result — this prices (and pins) the engine's same-timestamp
+cohort fast path.  Every workload runs twice per round, once on the
+default batched scheduler and once with ``cohort_dispatch=False``
+(every event through the heap), interleaved so clock drift lands on
+both sides; the archived ratio is the median of the per-round speedups.
+
+Two workload classes:
+
+* the kernel ping-pong workload of ``bench_kernel_events`` (resource
+  hand-offs, dense same-time cohorts — the best case for batching);
+* §5 model runs shaped like Figure 3 (1 MiB requests) and Figure 5
+  (4 KiB transfer units), where the cohort fast path competes with all
+  the model's other Python-frame costs.
+
+Bit-identity is asserted on every pair — the model runs must produce
+equal ``SimResult``s field for field, and the kernel runs must agree on
+final clock and event count — and recorded as ``bit_identical`` in
+``BENCH_kernel_batched.json`` so ``check_regression.py`` fails the gate
+if the schedulers ever diverge.
+"""
+
+import time
+
+from _common import archive_json, scaled
+
+from bench_kernel_events import _build
+from repro.sim.model import SwiftSimModel
+from repro.sim.workload import SimConfig
+
+#: Figure 3 shape: 1 MiB requests over 8 disks.
+FIG3_STYLE = SimConfig(num_requests=scaled(120, 40),
+                       warmup_requests=scaled(12, 4),
+                       arrival_rate=8.0)
+
+#: Figure 5 shape: small transfer unit, small requests, higher rate.
+FIG5_STYLE = SimConfig(num_requests=scaled(240, 80),
+                       warmup_requests=scaled(24, 8),
+                       arrival_rate=60.0,
+                       transfer_unit=4096, request_size=1 << 16)
+
+
+def _median(values):
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+def _kernel_run(cohort: bool):
+    """(events, elapsed, final clock) for one ping-pong run."""
+    # The flag must be set at construction: flipping it on a built
+    # environment spills any pending cohort into the heap with fresh
+    # event ids, which skews the _eid comparison below.
+    env = _build(cohort=cohort)
+    start = time.perf_counter()
+    env.run()
+    elapsed = time.perf_counter() - start
+    return env._eid, elapsed, env.now
+
+
+def _model_run(config: SimConfig, cohort: bool):
+    """(SimResult, elapsed) for one §5 model run."""
+    model = SwiftSimModel(config, cohort_dispatch=cohort)
+    start = time.perf_counter()
+    result = model.run()
+    return result, time.perf_counter() - start
+
+
+def bench_kernel_batched(benchmark):
+    benchmark(lambda: _kernel_run(True))
+
+    rounds = scaled(9, 5)
+    identical = True
+
+    kernel_batched, kernel_ratios = [], []
+    for _ in range(rounds):
+        events, batched, clock = _kernel_run(True)
+        ref_events, unbatched, ref_clock = _kernel_run(False)
+        identical &= (events == ref_events and clock == ref_clock)
+        kernel_batched.append(batched)
+        kernel_ratios.append(unbatched / batched)
+
+    model_ratios = {}
+    for name, config in (("fig3", FIG3_STYLE), ("fig5", FIG5_STYLE)):
+        ratios, batched_times = [], []
+        for _ in range(scaled(5, 3)):
+            result, batched = _model_run(config, True)
+            reference, unbatched = _model_run(config, False)
+            identical &= result == reference
+            ratios.append(unbatched / batched)
+            batched_times.append(batched)
+        model_ratios[name] = (_median(ratios), min(batched_times))
+
+    assert identical, ("cohort dispatch diverged from the one-heap "
+                       "reference scheduler")
+
+    events = _kernel_run(True)[0]
+    best_batched = min(kernel_batched)
+    payload = {
+        "workload": "kernel ping-pong + fig3/fig5-style model runs, "
+                    "batched vs cohort_dispatch=False",
+        "bit_identical": identical,
+        "events": events,
+        "batched_events_per_sec": events / best_batched,
+        "unbatched_events_per_sec":
+            events / (best_batched * _median(kernel_ratios)),
+        "cohort_speedup_ratio": _median(kernel_ratios),
+        "fig3_speedup_ratio": model_ratios["fig3"][0],
+        "fig3_batched_s": model_ratios["fig3"][1],
+        "fig5_speedup_ratio": model_ratios["fig5"][0],
+        "fig5_batched_s": model_ratios["fig5"][1],
+    }
+    path = archive_json("BENCH_kernel_batched", payload)
+    print(f"\ncohort dispatch: {payload['batched_events_per_sec']:,.0f} "
+          f"events/s, x{payload['cohort_speedup_ratio']:.2f} vs reference "
+          f"(fig3 x{payload['fig3_speedup_ratio']:.2f}, "
+          f"fig5 x{payload['fig5_speedup_ratio']:.2f}); "
+          f"bit-identical: {payload['bit_identical']} -> {path}")

@@ -24,10 +24,23 @@ plain warm-cache sweep), and it must stay under
 ``--hermeticity-threshold`` (default 1.5x).  Runs that never archived
 the sweep benchmark skip this gate.
 
+The happens-before race detector gets an absolute ceiling too: the
+fresh run's ``race_detector_overhead_ratio`` must stay under
+``--hb-threshold`` (default 6.0x of the uninstrumented kernel — the
+vector-clock stamps are copy-on-write, so the per-event cost is a
+tuple build, not a dict copy).
+
+Cohort dispatch is gated through ``BENCH_kernel_batched.json`` when a
+fresh one exists: ``bit_identical`` false is an unconditional failure
+(the batched scheduler diverged from the one-heap reference), and
+``batched_events_per_sec`` obeys the same one-sided throughput floor
+against ``baselines/BENCH_kernel_batched.json``.
+
 Usage::
 
     python benchmarks/check_regression.py [--threshold 0.20]
         [--sanitizer-threshold 1.5] [--hermeticity-threshold 1.5]
+        [--hb-threshold 6.0]
 """
 
 from __future__ import annotations
@@ -41,6 +54,8 @@ BENCH_DIR = Path(__file__).parent
 BASELINE = BENCH_DIR / "baselines" / "BENCH_kernel_events.json"
 FRESH = BENCH_DIR / "results" / "BENCH_kernel_events.json"
 SWEEP_FRESH = BENCH_DIR / "results" / "BENCH_sweep_parallel.json"
+BATCHED_BASELINE = BENCH_DIR / "baselines" / "BENCH_kernel_batched.json"
+BATCHED_FRESH = BENCH_DIR / "results" / "BENCH_kernel_batched.json"
 
 #: Metrics gated, with direction: events/sec must not drop.
 GATED_METRIC = "events_per_sec"
@@ -51,6 +66,12 @@ SANITIZER_METRIC = "aliasing_sanitizer_overhead_ratio"
 #: Fresh-run-only gate on the sweep benchmark: hermetic/plain warm-cache
 #: wall-clock ratio must stay low.
 HERMETICITY_METRIC = "hermeticity_sanitizer_overhead_ratio"
+
+#: Fresh-run-only gate: race-detector/plain throughput ratio ceiling.
+HB_METRIC = "race_detector_overhead_ratio"
+
+#: Cohort-dispatch gate on the batched benchmark.
+BATCHED_METRIC = "batched_events_per_sec"
 
 
 def main(argv=None) -> int:
@@ -66,9 +87,15 @@ def main(argv=None) -> int:
                         help="maximum tolerated hermeticity-sanitizer "
                              "overhead ratio in the fresh sweep "
                              "benchmark (default 1.5x)")
+    parser.add_argument("--hb-threshold", type=float, default=6.0,
+                        help="maximum tolerated race-detector overhead "
+                             "ratio in the fresh run (default 6.0x)")
     parser.add_argument("--baseline", type=Path, default=BASELINE)
     parser.add_argument("--fresh", type=Path, default=FRESH)
     parser.add_argument("--sweep-fresh", type=Path, default=SWEEP_FRESH)
+    parser.add_argument("--batched-baseline", type=Path,
+                        default=BATCHED_BASELINE)
+    parser.add_argument("--batched-fresh", type=Path, default=BATCHED_FRESH)
     options = parser.parse_args(argv)
 
     if not options.baseline.exists():
@@ -111,6 +138,44 @@ def main(argv=None) -> int:
                   "the instrumented-pool hot path branch-cheap; see "
                   "docs/CHECKING.md.", file=sys.stderr)
             return 1
+
+    hb_overhead = fresh.get(HB_METRIC)
+    if hb_overhead is not None:
+        print(f"regression gate: {HB_METRIC} measured {hb_overhead:.2f}x "
+              f"(ceiling {options.hb_threshold:.2f}x)")
+        if hb_overhead > options.hb_threshold:
+            print(f"regression gate: FAIL — the race detector costs "
+                  f"{hb_overhead:.2f}x the bare kernel "
+                  f"(> {options.hb_threshold:.2f}x allowed).  Keep the "
+                  "vector-clock stamps copy-on-write (no per-event dict "
+                  "copies); see docs/CHECKING.md.", file=sys.stderr)
+            return 1
+
+    if options.batched_fresh.exists():
+        batched = json.loads(options.batched_fresh.read_text())
+        if not batched.get("bit_identical", True):
+            print("regression gate: FAIL — cohort dispatch is no longer "
+                  "bit-identical to the one-heap reference scheduler "
+                  "(BENCH_kernel_batched.json: bit_identical false).  "
+                  "This is a correctness bug, not a performance "
+                  "regression; do not re-baseline.", file=sys.stderr)
+            return 1
+        if options.batched_baseline.exists():
+            batched_reference = \
+                json.loads(options.batched_baseline.read_text())
+            reference = batched_reference[BATCHED_METRIC]
+            measured = batched[BATCHED_METRIC]
+            ratio = measured / reference
+            print(f"regression gate: {BATCHED_METRIC} baseline "
+                  f"{reference:,.0f}, measured {measured:,.0f} "
+                  f"({ratio:.2f}x of baseline, floor {floor:.2f}x)")
+            if ratio < floor:
+                print(f"regression gate: FAIL — cohort-dispatch throughput "
+                      f"dropped {(1.0 - ratio) * 100.0:.1f}% "
+                      f"(> {options.threshold * 100:.0f}% allowed).  If "
+                      "intentional, re-baseline benchmarks/baselines/"
+                      "BENCH_kernel_batched.json.", file=sys.stderr)
+                return 1
 
     if options.sweep_fresh.exists():
         sweep = json.loads(options.sweep_fresh.read_text())

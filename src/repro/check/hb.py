@@ -56,13 +56,47 @@ __all__ = ["RaceDetector", "RaceReport", "AccessRecord", "RaceError",
 #: Vector clocks are plain dicts: pid -> segment counter.
 _Clock = dict
 
+#: A happens-before stamp: a tuple of ``(clock, pid, count)`` triples.
+#:
+#: Stamping is O(1): instead of copying the live clock dict for every
+#: scheduled event and recorded access (the dominant cost of running
+#: under the detector), a stamp *references* the stamping process's
+#: live clock and carries the stamp-time value of that process's own
+#: entry as an override.  Copy-on-write discipline makes the reference
+#: sound: a live clock is never joined into in place (cross-segment
+#: resumes replace it with a fresh merged dict), so the only entry that
+#: can move after stamping is the owner's segment counter — exactly the
+#: one the override pins.  The effective vector of a stamp is the
+#: pointwise max over its triples; almost every stamp has one triple
+#: (a release→acquire edge appends the stored release stamp).
+_Stamp = tuple
+
 #: Pseudo-pid for the root segment (model setup, before the first step).
 _ROOT_PID = 0
 
 
-def _happens_before(earlier: _Clock, later: _Clock) -> bool:
+def _effective_get(stamp: _Stamp, pid: int) -> int:
+    """``pid``'s entry in the effective vector of ``stamp``."""
+    best = 0
+    for clock, own_pid, count in stamp:
+        value = count if pid == own_pid else clock.get(pid, 0)
+        if value > best:
+            best = value
+    return best
+
+
+def _happens_before(earlier: _Stamp, later: _Stamp) -> bool:
     """True when ``earlier`` ≤ ``later`` componentwise (causally ordered)."""
-    return all(later.get(pid, 0) >= count for pid, count in earlier.items())
+    for clock, own_pid, count in earlier:
+        for pid, value in clock.items():
+            if pid == own_pid:
+                value = count
+            if value and _effective_get(later, pid) < value:
+                return False
+        if count and own_pid not in clock \
+                and _effective_get(later, own_pid) < count:
+            return False
+    return True
 
 
 class RaceError(AssertionError):
@@ -76,7 +110,7 @@ class AccessRecord:
     owner: str
     label: str
     is_write: bool
-    clock: _Clock
+    clock: _Stamp
     stack: str
 
     def describe(self) -> str:
@@ -137,12 +171,25 @@ class RaceDetector:
         #: Confirmed schedule-sensitivity reports, in detection order.
         self.races: list[RaceReport] = []
         self._pids: dict[int, int] = {}
+        self._owner_labels: dict[int, str] = {}
+        #: COMMUTING flattened to ordered pairs, so the hot comparison
+        #: loop does one tuple lookup instead of building a frozenset.
+        self._commuting: set[tuple] = set()
+        for pair in self.COMMUTING:
+            members = tuple(pair)
+            if len(members) == 1:
+                self._commuting.add((members[0], members[0]))
+            else:
+                first, second = members
+                self._commuting.add((first, second))
+                self._commuting.add((second, first))
         self._pid_refs: list = []          # keeps id() keys unique
         self._next_pid = _ROOT_PID
         self._clocks: dict[int, _Clock] = {_ROOT_PID: {_ROOT_PID: 1}}
-        #: Causal context for callback-phase scheduling (the clock of the
+        self._root_stamp: _Stamp = ((self._clocks[_ROOT_PID], _ROOT_PID, 1),)
+        #: Causal context for callback-phase scheduling (the stamp of the
         #: event currently being processed).
-        self._current: _Clock = self._clocks[_ROOT_PID]
+        self._current: _Stamp = self._root_stamp
         #: (request, clock) captured at grant time, merged into the grant
         #: event when it is scheduled a moment later.
         self._pending_acquire: Optional[tuple] = None
@@ -220,45 +267,93 @@ class RaceDetector:
             self._pid_refs.append(process)
         return pid
 
-    def _segment_clock(self) -> _Clock:
-        """The live clock of whatever is executing right now."""
+    def _segment_context(self) -> _Stamp:
+        """The stamp of whatever is executing right now — O(1).
+
+        Process segments stamp a reference to their live clock plus the
+        current value of their own entry (the only one that can advance
+        before the stamp is read); the callback phase re-stamps the
+        popped event's own stamp, which is already frozen.
+        """
         process = self.env.active_process
-        if process is not None:
-            pid = self._pid(process)
-            clock = self._clocks.setdefault(pid, {})
-            if not clock.get(pid):
-                clock[pid] = 1
-            return clock
-        return self._current
+        if process is None:
+            return self._current
+        pid = self._pid(process)
+        own = self._clocks.get(pid)
+        if own is None:  # pragma: no cover - defensive (resume seeds it)
+            own = self._clocks[pid] = {pid: 1}
+        return ((own, pid, own[pid]),)
+
+    @staticmethod
+    def _merged(stamp: _Stamp) -> _Clock:
+        """The effective vector of ``stamp`` as a fresh dict."""
+        clock, own_pid, count = stamp[0]
+        merged = dict(clock)
+        if count:
+            merged[own_pid] = count
+        for clock, own_pid, count in stamp[1:]:
+            for other, value in clock.items():
+                if other == own_pid:
+                    value = count
+                if merged.get(other, 0) < value:
+                    merged[other] = value
+            if count and merged.get(own_pid, 0) < count:
+                merged[own_pid] = count
+        return merged
 
     def _on_schedule(self, event, active_process) -> None:
-        snapshot = dict(self._segment_clock())
+        stamp = self._segment_context()
         pending = self._pending_acquire
         if pending is not None and pending[0] is event:
-            for pid, count in pending[1].items():
-                if snapshot.get(pid, 0) < count:
-                    snapshot[pid] = count
+            # The grant event carries the releaser's stamp too, so the
+            # next holder is ordered after the previous one.
+            stamp = stamp + pending[1]
             self._pending_acquire = None
-        event._hb_clock = snapshot
+        event._hb_clock = stamp
 
     def _on_step(self, when, event) -> None:
-        clock = getattr(event, "_hb_clock", None)
-        if clock is None:
-            clock = dict(self._clocks[_ROOT_PID])
-        self._current = clock
+        stamp = getattr(event, "_hb_clock", None)
+        if stamp is None:
+            stamp = self._root_stamp
+        self._current = stamp
         for callback in (event.callbacks or ()):
             process = getattr(callback, "__self__", None)
             if isinstance(process, Process):
                 pid = self._pid(process)
-                own = self._clocks.setdefault(pid, {})
-                for other, count in clock.items():
-                    if own.get(other, 0) < count:
-                        own[other] = count
-                own[pid] = own.get(pid, 0) + 1  # new segment begins
+                own = self._clocks.get(pid)
+                if own is None:
+                    # First resume: the pid is fresh, so no clock can
+                    # mention it yet — inherit the effective vector.
+                    own = self._merged(stamp)
+                    own[pid] = 1
+                    self._clocks[pid] = own
+                elif all(clock is own for clock, _p, _c in stamp):
+                    # The waking event was stamped by this process
+                    # itself (it scheduled its own wake-up, the common
+                    # case): a self-join is a no-op, so only the
+                    # segment counter moves.
+                    own[pid] += 1
+                else:
+                    # Cross-segment join.  The current dict may be
+                    # referenced by earlier stamps, so mutate a copy —
+                    # this is what keeps stamped clocks frozen.
+                    joined = dict(own)
+                    for clock, own_pid, count in stamp:
+                        if clock is own:
+                            continue
+                        for other, value in clock.items():
+                            if other == own_pid:
+                                value = count
+                            if joined.get(other, 0) < value:
+                                joined[other] = value
+                        if count and joined.get(own_pid, 0) < count:
+                            joined[own_pid] = count
+                    joined[pid] = joined.get(pid, 0) + 1  # new segment
+                    self._clocks[pid] = joined
 
     def _on_resource(self, action: str, resource, request) -> None:
         if action == "release":
-            resource._hb_release = dict(self._segment_clock())
+            resource._hb_release = self._segment_context()
         elif action == "acquire":
             stored = getattr(resource, "_hb_release", None)
             if stored is not None:
@@ -268,47 +363,66 @@ class RaceDetector:
 
     def _on_access(self, obj, label: str, is_write: bool) -> None:
         when = self.env.now
-        snapshot = dict(self._segment_clock())
-        record = AccessRecord(
-            owner=self._owner_label(),
-            label=label,
-            is_write=is_write,
-            clock=snapshot,
-            stack=self._stack() if self.include_stacks else "",
-        )
+        snapshot = self._segment_context()
+        # Records are plain tuples on the hot path; the AccessRecord
+        # dataclasses the reports expose are only materialized for the
+        # (rare) confirmed races.
+        record = (label, is_write, snapshot,
+                  self._owner_label(),
+                  self._stack() if self.include_stacks else "")
         key = id(obj)
         entry = self._history.get(key)
         if entry is None or entry[0] != when:
             self._obj_refs.append(obj)
-            records: list[AccessRecord] = []
+            records: list[tuple] = []
             self._history[key] = (when, records)
         else:
             records = entry[1]
         if len(self.races) < self.MAX_RACES:
+            commuting = self._commuting
             for previous in records:
-                if not (previous.is_write or is_write):
+                prev_label, prev_write, prev_clock = previous[:3]
+                if not (prev_write or is_write):
                     continue
-                if frozenset([previous.label, label]) in self.COMMUTING:
+                if (prev_label, label) in commuting:
                     continue
-                if _happens_before(previous.clock, snapshot):
+                if prev_clock == snapshot:  # same segment: ordered
                     continue
-                if _happens_before(snapshot, previous.clock):
+                if _happens_before(prev_clock, snapshot):
+                    continue
+                if _happens_before(snapshot, prev_clock):
                     continue
                 self.races.append(RaceReport(
                     time=when, label=label, obj_repr=repr(obj),
-                    first=previous, second=record))
+                    first=self._materialize(previous),
+                    second=self._materialize(record)))
                 if len(self.races) >= self.MAX_RACES:
                     break
         records.append(record)
 
+    @staticmethod
+    def _materialize(record: tuple) -> AccessRecord:
+        label, is_write, clock, owner, stack = record
+        return AccessRecord(owner=owner, label=label, is_write=is_write,
+                            clock=clock, stack=stack)
+
     def _owner_label(self) -> str:
         process = self.env.active_process
         if process is not None:
-            return repr(process)
+            # repr(Process) formats the generator's qualname — cache it
+            # per pid rather than paying it on every recorded access.
+            pid = self._pid(process)
+            label = self._owner_labels.get(pid)
+            if label is None:
+                label = self._owner_labels[pid] = repr(process)
+            return label
         return "<callback phase>"
 
     def _stack(self) -> str:
-        frames = traceback.extract_stack()
+        # Capture only the frames that can survive the trim below (the
+        # detector's own tail frames plus the reported depth) — walking
+        # and summarizing the whole stack per access dominates otherwise.
+        frames = traceback.extract_stack(limit=self.stack_depth + 4)
         # Drop this module's own frames from the tail.
         while frames and frames[-1].filename == __file__:
             frames.pop()

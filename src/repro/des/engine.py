@@ -15,6 +15,7 @@ Typical use::
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heappop, heappush
 from typing import Any, Optional
 
@@ -97,6 +98,24 @@ class Environment:
     tie: the schedule-perturbation harness (:mod:`repro.check.perturb`)
     runs the same scenario under several seeds and asserts the metrics do
     not move, which proves no result leans on tie-break order.
+
+    **Cohort dispatch.**  Most events in a hot run are scheduled *at the
+    current timestamp* (resource grants, releases, ``succeed()`` fan-out):
+    they join the same-time cohort the engine is already draining.  With
+    ``cohort_dispatch=True`` (the default) and no tie shuffle or schedule
+    monitors, those events skip the heap entirely — no key packing, no
+    entry tuple, no sift — and land on an append-ordered ready deque.
+    The drain order is provably the heap order: every ready entry carries
+    a larger event id than every same-time heap entry (heap entries at
+    the current time were necessarily scheduled earlier, or are urgent
+    and outrank normal events anyway), so "heap first while its top is at
+    ``now``, then the deque in append order" reproduces ``(time,
+    priority, eid)`` exactly.  ``cohort_dispatch=False`` forces every
+    event through the one-heap reference path — the A/B side of
+    ``benchmarks/bench_kernel_batched.py``'s bit-identity check — and
+    attaching a schedule monitor or a tie-break seed disables the cohort
+    fast path implicitly, exactly as pooling is disabled, so detectors
+    always observe the fully ordered, individually dispatched engine.
     """
 
     #: Events scheduled with urgent priority run before normal events that
@@ -105,9 +124,17 @@ class Environment:
     PRIORITY_NORMAL = 1
 
     def __init__(self, initial_time: float = 0.0,
-                 tie_break_seed: Optional[int] = None):
+                 tie_break_seed: Optional[int] = None,
+                 cohort_dispatch: bool = True):
         self._now = float(initial_time)
         self._queue: list = []
+        # Same-timestamp cohort: events scheduled at the current time by
+        # a fast path wait here in append (= eid) order instead of in the
+        # heap.  Only ever non-empty while _schedule_fast holds; a
+        # monitor attaching mid-run spills it back into the heap (see
+        # _refresh_fast_flags).
+        self._ready: deque = deque()
+        self._cohort = bool(cohort_dispatch)
         self._eid = 0
         self._active_process: Optional[Process] = None
         # Free lists of processed Timeout / Release / Request objects
@@ -158,17 +185,49 @@ class Environment:
 
     def _refresh_fast_flags(self) -> None:
         """Recompute the cached hot-path gates (see __init__)."""
-        self._schedule_fast = (self._tie_seed_prefix is None
+        self._schedule_fast = (self._cohort
+                               and self._tie_seed_prefix is None
                                and not self._schedule_monitors)
         self._unmonitored = not (self._step_monitors
                                  or self._schedule_monitors
                                  or self._resource_monitors
                                  or self._access_monitors)
+        if not self._schedule_fast and self._ready:
+            # A monitor (or shuffle seed) arrived while a cohort was
+            # pending: spill it into the heap so the one-queue reference
+            # path sees every event.  Fresh ids keep append order and
+            # stay above every same-time key already in the heap.
+            ready = self._ready
+            queue = self._queue
+            now = self._now
+            while ready:
+                eid = self._eid = self._eid + 1
+                heappush(queue, (now, _NORMAL_KEY_BASE + eid,
+                                 ready.popleft()))
 
     @property
     def active_process(self) -> Optional[Process]:
         """The process currently being stepped (None between steps)."""
         return self._active_process
+
+    def reset(self, initial_time: float = 0.0) -> None:
+        """Rewind the engine to its freshly constructed state (warm-start).
+
+        Clears the calendar, the ready cohort, the clock and the event-id
+        counter so a re-seeded scenario replays exactly as on a brand-new
+        Environment.  Three things deliberately survive: monitor hooks
+        and the tie-break seed (attachment state the caller owns), and
+        the event free lists (pooling is result-neutral — bit-identity
+        with pooling on/off is pinned by the PR 4 tests — so retained
+        pool entries only save allocations).  Processes of the dead run
+        that never finished are orphaned, not resumed: their events are
+        gone from the calendar.
+        """
+        self._now = float(initial_time)
+        self._queue.clear()
+        self._ready.clear()
+        self._eid = 0
+        self._active_process = None
 
     # -- monitoring hooks ---------------------------------------------------
 
@@ -324,10 +383,15 @@ class Environment:
             timeout._value = value
             # No monitors to notify (checked above); push directly.
             if self._schedule_fast:
+                now = self._now
+                when = now + delay
                 eid = self._eid = self._eid + 1
-                heappush(self._queue,
-                         (self._now + delay, _NORMAL_KEY_BASE + eid,
-                          timeout))
+                if when == now:
+                    # Same-timestamp cohort: join the ready deque.
+                    self._ready.append(timeout)
+                else:
+                    heappush(self._queue,
+                             (when, _NORMAL_KEY_BASE + eid, timeout))
             else:
                 self.schedule(timeout, delay=delay)
             return timeout
@@ -366,21 +430,40 @@ class Environment:
                 monitor(event, self._active_process)
         prefix = self._tie_seed_prefix
         if prefix is None:
+            when = self._now + delay
+            if (when == self._now and priority == 1
+                    and self._schedule_fast):
+                # Same-timestamp, normal-priority, no monitors: the event
+                # joins the cohort currently being drained.
+                self._ready.append(event)
+                return
             key = (priority << _PRIORITY_SHIFT) + eid
         else:
+            when = self._now + delay
             key = (priority, _fnv_fold(prefix, str(eid)), eid)
-        heappush(self._queue, (self._now + delay, key, event))
+        heappush(self._queue, (when, key, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._ready:
+            # A pending cohort runs at the current time unless the heap
+            # holds something even earlier (a past-time artifact).
+            if self._queue and self._queue[0][0] < self._now:
+                return self._queue[0][0]
+            return self._now
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
         """Process exactly one event from the calendar."""
-        try:
-            when, _, event = heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        queue = self._queue
+        if self._ready and not (queue and queue[0][0] <= self._now):
+            event = self._ready.popleft()
+            when = self._now
+        else:
+            try:
+                when, _, event = heappop(queue)
+            except IndexError:
+                raise EmptySchedule() from None
         if self._step_monitors:
             for monitor in self._step_monitors:
                 monitor(when, event)
@@ -447,67 +530,54 @@ class Environment:
                     f"(now={self._now})"
                 )
 
-        # The drain loop is step() inlined: one heappop, the monitor
-        # branch, the clock write and the callback fan-out per event, with
-        # the queue, the monitor list and the timeout pool bound to locals.
-        # Monitors mutate those lists in place, so the aliases stay live.
+        # The drain loop is step() inlined: cohort dispatch first (pop
+        # the ready deque while the heap has nothing due), then one
+        # heappop to refill or advance, with the queue, the deque, the
+        # monitor lists and the event pools bound to locals.  Monitors
+        # mutate those lists in place, so the aliases stay live.  Ready
+        # entries skip the per-event clock write — their timestamp *is*
+        # the current time — and the heap-top guard before each cohort
+        # pop keeps urgent arrivals (smaller key, scheduled mid-cohort)
+        # ahead of the rest of the cohort, preserving exact (time,
+        # priority, eid) order.
         queue = self._queue
+        ready = self._ready
+        ready_pop = ready.popleft
         step_monitors = self._step_monitors
         schedule_monitors = self._schedule_monitors
         timeout_pool = self._timeout_pool
         release_pool = self._release_pool
+        now = self._now
         try:
-            infinity = float("inf")
-            if stop_time == infinity:
-                # Drain-to-empty loop: no stop-time comparison per event.
-                while queue:
-                    when, _, event = heappop(queue)
-                    if step_monitors:
-                        for monitor in step_monitors:
-                            monitor(when, event)
-                    self._now = when
-                    callbacks, event.callbacks = event.callbacks, None
-                    if callbacks:
-                        for callback in callbacks:
-                            callback(event)
-                    if event._ok:
-                        cls = type(event)
-                        if (cls is Timeout
-                                and len(timeout_pool) < _POOL_LIMIT
-                                and not step_monitors
-                                and not schedule_monitors):
-                            callbacks.clear()
-                            event.callbacks = callbacks
-                            timeout_pool.append(event)
-                        elif (cls is Release
-                                and len(release_pool) < _POOL_LIMIT
-                                and not step_monitors
-                                and not schedule_monitors):
-                            callbacks.clear()
-                            event.callbacks = callbacks
-                            release_pool.append(event)
-                    elif not event._defused:
-                        exc = event._value
-                        if isinstance(exc, BaseException):
-                            raise exc
-                        raise RuntimeError(
-                            f"unhandled failed event: {event!r}")
-                raise EmptySchedule()
             while True:
-                if not queue:
-                    self._now = stop_time
-                    return None
-                if queue[0][0] > stop_time:
-                    self._now = stop_time
-                    return None
-                when, _, event = heappop(queue)
+                if ready:
+                    if queue and queue[0][0] <= now:
+                        when, _, event = heappop(queue)
+                        if when != now:
+                            self._now = now = when
+                    else:
+                        event = ready_pop()
+                        when = now
+                elif queue:
+                    when = queue[0][0]
+                    if when > stop_time:
+                        self._now = stop_time
+                        return None
+                    when, _, event = heappop(queue)
+                    self._now = now = when
+                else:
+                    if stop_time != float("inf"):
+                        self._now = stop_time
+                        return None
+                    raise EmptySchedule()
                 if step_monitors:
                     for monitor in step_monitors:
                         monitor(when, event)
-                self._now = when
-                callbacks, event.callbacks = event.callbacks, None
-                for callback in callbacks:
-                    callback(event)
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
                 if event._ok:
                     cls = type(event)
                     if (cls is Timeout

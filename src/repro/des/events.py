@@ -167,11 +167,12 @@ class Event:
         # Inlined env.schedule(self) for the common no-monitor, no-shuffle
         # case: succeed() fires once per granted request, completed
         # process and message delivery, so the call overhead shows up in
-        # every hot loop.
+        # every hot loop.  The event fires at the current time, so it
+        # joins the ready cohort — no heap entry at all.
         env = self.env
         if env._schedule_fast:
-            eid = env._eid = env._eid + 1
-            heappush(env._queue, (env._now, _NORMAL_KEY_BASE + eid, self))
+            env._eid += 1
+            env._ready.append(self)
         else:
             env.schedule(self)
         return self
@@ -236,9 +237,14 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         if env._schedule_fast:
+            now = env._now
+            when = now + delay
             eid = env._eid = env._eid + 1
-            heappush(env._queue,
-                     (env._now + delay, _NORMAL_KEY_BASE + eid, self))
+            if when == now:
+                # Zero-delay (or sub-ulp) timeout: same-timestamp cohort.
+                env._ready.append(self)
+            else:
+                heappush(env._queue, (when, _NORMAL_KEY_BASE + eid, self))
         else:
             env.schedule(self, delay=delay)
 

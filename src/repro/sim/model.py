@@ -20,6 +20,7 @@
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass
 
 from ..des import Environment, OnlineStats, StreamFactory
@@ -74,12 +75,17 @@ class SwiftSimModel:
     storage device per agent — e.g. :class:`repro.simdisk.raid.RaidArray`
     for the §6 "collection of Raids" configuration.  The default is the
     configured plain disk.
+
+    ``cohort_dispatch=False`` forces the engine's one-heap reference
+    scheduler; results are bit-identical either way (the A/B contract
+    ``benchmarks/bench_kernel_batched.py`` measures and pins).
     """
 
     def __init__(self, config: SimConfig, storage_factory=None,
-                 trace=None):
+                 trace=None, cohort_dispatch: bool = True):
         self.config = config
-        self.env = Environment(tie_break_seed=config.tie_break_seed)
+        self.env = Environment(tie_break_seed=config.tie_break_seed,
+                               cohort_dispatch=cohort_dispatch)
         self.streams = StreamFactory(config.seed)
         cost = mips_cost_model(config.host_mips)
         self.ring = TokenRing(self.env, "ring",
@@ -112,6 +118,62 @@ class SwiftSimModel:
         self._deadline_misses = 0
         self._deadline_total = 0
         self._completion_samples: list[float] = []
+
+    # -- warm-start -------------------------------------------------------------
+
+    def warm_reset(self, config: SimConfig) -> "SwiftSimModel":
+        """Re-arm the built deployment for a fresh run under ``config``.
+
+        Only valid when ``config`` shares this model's deployment digest
+        (:func:`repro.sim.cache.deployment_key`): same disk fleet, hosts,
+        ring and master seed, so that rebuilding from scratch would
+        produce an identical object graph.  Engine clock and calendar,
+        resource queues, utilization windows, random streams and all
+        counters are rewound in place — every object identity survives —
+        and ``run()`` then reproduces the cold-built result byte for
+        byte (pinned by tests/sim/test_warm_start.py).  Trace replays
+        are not supported (they are never cached or warm-started).
+
+        Storage devices supplied by a ``storage_factory`` must implement
+        the Disk duck-type's ``reset()``; the sweep entry points only
+        enable warm-start for plain runs, matching the cache contract.
+        """
+        if self.trace is not None:
+            raise RuntimeError("trace replays cannot be warm-started")
+        self.config = config
+        # A horizon-stopped run leaves suspended process generators
+        # behind (waiting on calendar events or resource grants).  Their
+        # eventual garbage collection throws GeneratorExit into them,
+        # running `finally` clauses and with-block exits that release
+        # resources and mark monitors idle — against *these* components,
+        # at whatever moment the collector happens to fire.  Force that
+        # finalization now, against the dead run's state, then wipe
+        # everything the finalizers touched; otherwise the next run's
+        # accounting depends on allocation history.  (Callers that hold
+        # their own references to a dead run's processes defeat this —
+        # the sweep paths hold none.)
+        self.env.reset()
+        gc.collect()
+        self.env.reset()
+        self.env.tie_break_seed = config.tie_break_seed
+        self.streams.reset()
+        self.ring.reset()
+        for client in self.clients:
+            client.reset()
+        for host, disk in self.agents:
+            host.reset()
+            disk.reset()
+        self._completions.reset()
+        self._completed = 0
+        self._started = 0
+        self._bytes_delivered = 0
+        self._next_start_agent = 0
+        self._window_start = None
+        self._window_end = 0.0
+        self._deadline_misses = 0
+        self._deadline_total = 0
+        self._completion_samples.clear()
+        return self
 
     # -- running ---------------------------------------------------------------
 

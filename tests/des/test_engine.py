@@ -226,3 +226,111 @@ def test_trigger_copies_another_events_outcome():
     source.succeed("mirrored")
     env.run()
     assert mirror.value == "mirrored"
+
+
+# -- cohort dispatch ----------------------------------------------------------
+#
+# Same-timestamp events normally skip the heap and drain from an
+# append-ordered ready deque (see the Environment docstring).  The
+# contract: dispatch order is bit-identical to the one-heap reference
+# path (cohort_dispatch=False), and anything that must observe every
+# event individually — a schedule monitor, a tie-break seed — disables
+# the fast path and spills any pending cohort back into the heap.
+
+
+def _mixed_workload(env, order):
+    """Processes that exercise same-time fan-out, urgent events,
+    resource hand-offs and future timeouts, recording dispatch order."""
+    from repro.des import Resource
+
+    resource = Resource(env, capacity=2)
+
+    def holder(env, tag):
+        for cycle in range(3):
+            with resource.request() as grant:
+                yield grant
+                order.append((env.now, tag, cycle, "granted"))
+                yield env.timeout(0.001 * ((cycle + tag) % 3))
+            order.append((env.now, tag, cycle, "released"))
+
+    def fanout(env):
+        for cycle in range(4):
+            events = [env.event() for _ in range(3)]
+            for index, event in enumerate(events):
+                event.succeed(index)
+            yield env.all_of(events)
+            order.append((env.now, "fanout", cycle))
+            yield env.timeout(0.0005)
+
+    def urgent_mixer(env):
+        for cycle in range(4):
+            normal = env.timeout(0.002)
+            urgent = env.event()
+            urgent._ok = True
+            env.schedule(urgent, delay=0.002,
+                         priority=env.PRIORITY_URGENT)
+            yield env.all_of([normal, urgent])
+            order.append((env.now, "urgent", cycle))
+
+    for tag in range(5):
+        env.process(holder(env, tag))
+    env.process(fanout(env))
+    env.process(urgent_mixer(env))
+
+
+def _run_mixed(cohort):
+    env = Environment(cohort_dispatch=cohort)
+    order = []
+    _mixed_workload(env, order)
+    env.run()
+    return order, env.now
+
+
+def test_cohort_dispatch_matches_reference_order():
+    assert _run_mixed(True) == _run_mixed(False)
+
+
+def test_tie_break_seed_disables_cohort_fast_path():
+    env = Environment(tie_break_seed=7)
+    assert not env._schedule_fast
+    env = Environment()
+    assert env._schedule_fast
+    env.tie_break_seed = 3
+    assert not env._schedule_fast
+
+
+def test_schedule_monitor_spills_pending_cohort():
+    env = Environment()
+    order = []
+
+    def fanout(env):
+        events = [env.event() for _ in range(4)]
+        for index, event in enumerate(events):
+            event.succeed(index)
+        # The succeeded events sit in the ready cohort right now.
+        assert env._ready
+        seen = []
+        env.add_schedule_monitor(lambda event, proc: seen.append(event))
+        # Attaching the monitor must have spilled them into the heap.
+        assert not env._ready
+        yield env.all_of(events)
+        order.append([event.value for event in events])
+
+    env.process(fanout(env))
+    env.run()
+    assert order == [[0, 1, 2, 3]]
+
+
+def test_cohort_reset_clears_ready_deque():
+    env = Environment()
+
+    def fanout(env):
+        event = env.event()
+        event.succeed("x")
+        assert env._ready
+        yield env.timeout(0)
+
+    env.process(fanout(env))
+    env.step()
+    env.reset()
+    assert not env._ready and not env._queue and env.now == 0.0
