@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test lint check-aliasing check-effects check-model check-model-full bench bench-full bench-smoke tables figures examples clean
+.PHONY: install test lint check-aliasing check-effects check-model check-model-full bench bench-full bench-smoke profile tables figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -46,14 +46,25 @@ bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # CI perf gate: kernel events/sec, the batched-vs-unbatched cohort A/B
-# (bit-identity asserted), and a 2-worker mini-sweep; then fail on a
-# >20% throughput regression vs benchmarks/baselines/, a detector or
-# sanitizer overhead ceiling, or a cohort bit-identity mismatch.
+# and the callback-vs-generator process-mode A/B (bit-identity asserted
+# on both), and a 2-worker mini-sweep; then fail on a >20% throughput
+# regression vs benchmarks/baselines/, a detector or sanitizer overhead
+# ceiling, a bit-identity mismatch, or a committed process-mode speedup
+# below its 1.5x floor (thresholds in benchmarks/baselines/thresholds.json).
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_kernel_events.py --benchmark-only
 	$(PYTHON) -m pytest benchmarks/bench_kernel_batched.py --benchmark-only
+	$(PYTHON) -m pytest benchmarks/bench_process_modes.py --benchmark-only
 	REPRO_BENCH_WORKERS=2 $(PYTHON) -m pytest benchmarks/bench_sweep_parallel.py --benchmark-only
 	$(PYTHON) benchmarks/check_regression.py
+	$(PYTHON) benchmarks/profile_kernel.py
+
+# cProfile a fig5-shaped callback-mode run: top-20 cumulative hot spots
+# on stdout, raw dump in benchmarks/results/PROFILE_kernel.pstats
+# (try `$(PYTHON) benchmarks/profile_kernel.py --mode generator` to diff
+# the reference path).
+profile:
+	$(PYTHON) benchmarks/profile_kernel.py
 
 tables:
 	$(PYTHON) -m repro table1

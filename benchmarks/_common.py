@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import subprocess
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -49,15 +51,48 @@ def archive(name: str, text: str) -> None:
     print(text)
 
 
+def _git_sha() -> str:
+    """Abbreviated commit of the working tree, or "unknown" outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).parent, capture_output=True, text=True,
+            timeout=10)
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def provenance() -> dict:
+    """Where a result came from: commit, interpreter, machine.
+
+    Stamped into every archived JSON so a number found in an artifact
+    or a committed baseline can always be traced to the code and the
+    hardware class that produced it.
+    """
+    return {
+        "git_sha": _git_sha(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def archive_json(name: str, payload: dict) -> Path:
     """Save a machine-readable result under benchmarks/results/.
 
     Written as ``<name>.json`` with sorted keys so reruns diff cleanly;
-    returns the path for the caller to mention.
+    returns the path for the caller to mention.  Every payload is
+    stamped with :func:`provenance` (the benchmark's own keys win on
+    collision, which none use).
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    stamped = dict(provenance())
+    stamped.update(payload)
+    path.write_text(json.dumps(stamped, indent=2, sort_keys=True) + "\n")
     return path
 
 

@@ -688,6 +688,17 @@ class _FunctionAnalyzer:
                 self._effect("env", f"{dotted}", node)
             elif dotted in _PROCESS_ATTRIBUTES:
                 self._effect("process", f"{dotted}", node)
+            elif isinstance(node.value, ast.Name) and \
+                    node.value.id == "self" and self.info.class_name:
+                # A bare read of `self.<method>` is a method reference
+                # that escapes — callback registration (state machines
+                # append bound state methods to event callback lists) or
+                # a bound-method cache (`self._bound_step = self._step`).
+                # Assume the reference is eventually called.
+                resolved = self._method_in_chain(self.info.class_name,
+                                                 node.attr)
+                if resolved is not None:
+                    self.info.calls.add(resolved)
         elif isinstance(node, ast.Subscript):
             self._visit_subscript(node)
         elif isinstance(node, (ast.Assign, ast.AugAssign)):

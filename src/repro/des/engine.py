@@ -192,6 +192,16 @@ class Environment:
                                  or self._schedule_monitors
                                  or self._resource_monitors
                                  or self._access_monitors)
+        # Event-span coalescing (callback processes replacing a chain of
+        # k deterministic timeouts with one computed completion) demands
+        # the strictest gate of all: any observer — including the
+        # transfer ledger and the aliasing sanitizer, which deliberately
+        # leave _unmonitored alone — must see the chain fully expanded,
+        # event by event.
+        self._span_fast = (self._schedule_fast
+                           and self._unmonitored
+                           and not self._transfer_monitors
+                           and not self._alias_monitors)
         if not self._schedule_fast and self._ready:
             # A monitor (or shuffle seed) arrived while a cohort was
             # pending: spill it into the heap so the one-queue reference
@@ -314,9 +324,13 @@ class Environment:
         and end, per-agent regions, wire payloads, parity reconstruction).
         The conservation ledger (:mod:`repro.check.conserve`) attaches
         here; emitters guard on ``env._transfer_monitors`` so the data
-        path pays one falsy test when no ledger is installed.
+        path pays one falsy test when no ledger is installed.  Attaching
+        disables event-span coalescing (``_span_fast``) so the ledger
+        sees every per-block event, but leaves pooling and the inlined
+        resource paths on.
         """
         self._transfer_monitors.append(callback)
+        self._refresh_fast_flags()
 
     def remove_transfer_monitor(self, callback) -> None:
         """Detach a transfer monitor (no-op if absent)."""
@@ -324,6 +338,7 @@ class Environment:
             self._transfer_monitors.remove(callback)
         except ValueError:
             pass
+        self._refresh_fast_flags()
 
     def _notify_transfer(self, kind: str, **info) -> None:
         for callback in self._transfer_monitors:
@@ -337,9 +352,12 @@ class Environment:
         (:mod:`repro.check.sanitize`) attaches here; like the transfer
         hook this deliberately does **not** flip ``_unmonitored``, so
         event pooling and the inlined fast paths stay active and the
-        sanitizer observes exactly the production engine.
+        sanitizer observes exactly the production engine.  It does
+        disable event-span coalescing (``_span_fast``): coalesced chains
+        skip per-block events the sanitizer may want to order against.
         """
         self._alias_monitors.append(callback)
+        self._refresh_fast_flags()
 
     def remove_alias_monitor(self, callback) -> None:
         """Detach an alias monitor (no-op if absent)."""
@@ -347,6 +365,7 @@ class Environment:
             self._alias_monitors.remove(callback)
         except ValueError:
             pass
+        self._refresh_fast_flags()
 
     def _notify_alias(self, kind: str, buffer) -> None:
         for callback in self._alias_monitors:
@@ -397,6 +416,61 @@ class Environment:
             return timeout
         return Timeout(self, delay, value)
 
+    @property
+    def span_coalescing(self) -> bool:
+        """True when event-span coalescing is currently permitted.
+
+        Callback processes about to emit a deterministic chain of k
+        timeouts consult this: when True they may pre-draw the k service
+        times in reference order and schedule one completion via
+        :meth:`timeout_at`; when False (any monitor attached, tie-break
+        shuffling, or ``cohort_dispatch=False``) they must expand the
+        chain event for event so every observer sees the reference
+        sequence.
+        """
+        return self._span_fast
+
+    def timeout_at(self, when: float, value: Any = None) -> Timeout:
+        """A Timeout at the *absolute* calendar time ``when``.
+
+        The landing point for event-span coalescing: a chain of k
+        timeouts reaches ``((now + s1) + s2) ... + sk`` under float
+        accumulation, and scheduling ``timeout(t_final - now)`` would
+        round differently (``now + (t_final - now) != t_final`` in
+        general).  Callers accumulate ``when`` with the exact reference
+        additions and this places the event at that exact float, keeping
+        the coalesced completion bit-identical to the expanded chain's
+        last event.  Pooling and recycling follow :meth:`timeout`.
+        """
+        now = self._now
+        if when < now:
+            raise ValueError(f"timeout_at({when}) is in the past (now={now})")
+        pool = self._timeout_pool
+        if pool and self._unmonitored:
+            timeout = pool.pop()
+            timeout.delay = when - now
+            timeout._value = value
+            if self._schedule_fast:
+                eid = self._eid = self._eid + 1
+                if when == now:
+                    self._ready.append(timeout)
+                else:
+                    heappush(self._queue,
+                             (when, _NORMAL_KEY_BASE + eid, timeout))
+            else:
+                self._schedule_at(timeout, when)
+            return timeout
+        timeout = Timeout.__new__(Timeout)
+        timeout.env = self
+        timeout.callbacks = []
+        timeout._defused = False
+        timeout._stale = None
+        timeout.delay = when - now
+        timeout._ok = True
+        timeout._value = value
+        self._schedule_at(timeout, when)
+        return timeout
+
     def process(self, generator: ProcessGenerator) -> Process:
         """Register ``generator`` as a new process starting now."""
         return Process(self, generator)
@@ -440,6 +514,28 @@ class Environment:
             key = (priority << _PRIORITY_SHIFT) + eid
         else:
             when = self._now + delay
+            key = (priority, _fnv_fold(prefix, str(eid)), eid)
+        heappush(self._queue, (when, key, event))
+
+    def _schedule_at(self, event: Event, when: float,
+                     priority: int = PRIORITY_NORMAL) -> None:
+        """:meth:`schedule` at an absolute time (no ``now + delay`` round).
+
+        Only :meth:`timeout_at` routes here; the relative-delay
+        :meth:`schedule` stays the single hot entry point.
+        """
+        eid = self._eid = self._eid + 1
+        if self._schedule_monitors:
+            for monitor in self._schedule_monitors:
+                monitor(event, self._active_process)
+        prefix = self._tie_seed_prefix
+        if prefix is None:
+            if (when == self._now and priority == 1
+                    and self._schedule_fast):
+                self._ready.append(event)
+                return
+            key = (priority << _PRIORITY_SHIFT) + eid
+        else:
             key = (priority, _fnv_fold(prefix, str(eid)), eid)
         heappush(self._queue, (when, key, event))
 

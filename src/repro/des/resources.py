@@ -138,6 +138,14 @@ class Release(Event):
             env.schedule(self)
 
 
+#: Placeholder occupying a server slot for a grant that skipped the Request
+#: object entirely (see :meth:`Resource.try_acquire`).  ``users`` entries are
+#: only ever touched by identity (``remove``) and count (``len``) on the
+#: unmonitored fast path, so an opaque token is indistinguishable from a
+#: granted request to every contender.
+_TOKEN = object()
+
+
 class Resource:
     """A pool of ``capacity`` identical servers with a queue.
 
@@ -205,6 +213,40 @@ class Resource:
             return request
         return Request(self, priority)
 
+    def request_inline(self, priority: float = 0.0) -> Request:
+        """A claim granted *without a grant event* when nothing contends.
+
+        The callback-process hold sequence calls this: when the server is
+        free, the queue empty and no monitor attached, the request is
+        granted on the spot and returned already *processed*
+        (``callbacks is None``) — no calendar entry, no dispatch — and
+        the caller continues inline.  The resource state transition is
+        identical to :meth:`request` (``users`` grows at call time either
+        way; the grant event is pure wakeup latency), so contenders
+        arriving later queue exactly as before.  Contended or monitored
+        calls fall back to :meth:`request`; callers distinguish the two
+        outcomes by ``request.callbacks is None``.
+        """
+        env = self.env
+        if (env._unmonitored and not self._waiting
+                and len(self.users) < self.capacity):
+            pool = env._request_pool
+            if pool:
+                request = pool.pop()
+            else:
+                request = Request.__new__(Request)
+                request.env = env
+                request._stale = None
+            request._defused = False
+            request.resource = self
+            request.priority = priority
+            request._ok = True
+            request._value = None
+            request.callbacks = None
+            self.users.append(request)
+            return request
+        return self.request(priority)
+
     def release(self, request: Request) -> Release:
         """Give a server back (or withdraw a waiting request).
 
@@ -246,6 +288,88 @@ class Resource:
                 env.schedule(release)
             return release
         return Release(self, request)
+
+    def release_quiet(self, request: Request) -> None:
+        """Give a server back without materialising a Release event.
+
+        A Release event is inert — no callbacks ever attach to it, and
+        the regrant of the next waiter already happens at release time,
+        not when the Release is processed — so for callers that do not
+        need the returned event (the callback-process hold sequence in
+        :mod:`repro.des.callback`) skipping it removes one calendar
+        entry per hold.  Grant order, monitor notification order and
+        request recycling are identical to :meth:`release`; with any
+        step/schedule/resource/access monitor attached the release
+        routes through the fully notifying slow path.
+        """
+        env = self.env
+        if env._unmonitored:
+            try:
+                self.users.remove(request)
+            except ValueError:
+                self._withdraw(request)
+            else:
+                waiting = self._waiting
+                if waiting and len(self.users) < self.capacity:
+                    _, _, granted = heappop(waiting)
+                    self.users.append(granted)
+                    granted._ok = True
+                    granted._value = None
+                    if env._schedule_fast:
+                        env._eid += 1
+                        env._ready.append(granted)
+                    else:
+                        env.schedule(granted)
+            # Same retirement proof as Request.__exit__: granted,
+            # processed, and now released — recycle.
+            if (request.callbacks is None
+                    and len(env._request_pool) < _POOL_LIMIT):
+                request.callbacks = []
+                env._request_pool.append(request)
+        else:
+            self._dequeue(request)
+
+    def try_acquire(self) -> bool:
+        """Claim a free server with no Request object and no grant event.
+
+        The cheapest possible grant: when the server is free, the queue
+        empty and no monitor attached, a placeholder token takes the
+        server slot and the caller proceeds inline.  Contenders arriving
+        during the hold queue exactly as against a granted request —
+        ``users`` grows at the same instant either way.  Returns False
+        (claiming nothing) when contended or monitored; the caller falls
+        back to :meth:`request`.  A successful claim must be returned
+        with :meth:`release_slot`, which holds even if monitors attach
+        mid-hold — like request recycling, per-hold monitor fidelity is
+        only guaranteed for monitors attached before the run starts.
+        """
+        if (self.env._unmonitored and not self._waiting
+                and len(self.users) < self.capacity):
+            self.users.append(_TOKEN)
+            return True
+        return False
+
+    def release_slot(self) -> None:
+        """Release a server claimed with :meth:`try_acquire`.
+
+        Identical regrant semantics to :meth:`release_quiet`: the
+        longest-waiting highest-priority request (if any) is granted at
+        the current time before this call returns.
+        """
+        users = self.users
+        users.remove(_TOKEN)
+        waiting = self._waiting
+        if waiting and len(users) < self.capacity:
+            env = self.env
+            _, _, granted = heappop(waiting)
+            users.append(granted)
+            granted._ok = True
+            granted._value = None
+            if env._schedule_fast:
+                env._eid += 1
+                env._ready.append(granted)
+            else:
+                env.schedule(granted)
 
     def reset(self) -> None:
         """Forget every holder and waiter (warm-start).

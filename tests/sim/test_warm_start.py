@@ -59,6 +59,41 @@ def test_repeated_warm_resets_stay_identical():
     assert model.run() == reference
 
 
+def test_warm_callback_deployment_matches_cold_and_generator():
+    # Callback-mode state machines hold pooled timeouts and token grants
+    # at horizon stop; warm_reset must rewind all of it.  The warm rerun
+    # has to match both its own cold build and the generator reference.
+    config = dataclasses.replace(BASE, arrival_rate=6.0)
+    reference = SwiftSimModel(config, process_mode="generator").run()
+    cold = SwiftSimModel(config, process_mode="callback").run()
+    assert cold == reference
+    model = SwiftSimModel(config, process_mode="callback")
+    for _ in range(3):
+        assert model.run() == reference
+        model.warm_reset(config)
+    assert model.run() == reference
+
+
+def test_warm_saturated_callback_sweep_matches_cold():
+    # The orphaned-process case under the callback fast path: a
+    # saturated run stops at the horizon guard with state machines still
+    # holding spindles/CPUs (token grants, no request objects), then a
+    # light run reuses the same deployment.
+    rates = [500.0, 2.0]
+    def sweep(warm):
+        results = []
+        model = None
+        for rate in rates:
+            config = dataclasses.replace(BASE, arrival_rate=rate)
+            if warm and model is not None:
+                model.warm_reset(config)
+            else:
+                model = SwiftSimModel(config, process_mode="callback")
+            results.append(model.run())
+        return results
+    assert sweep(warm=True) == sweep(warm=False)
+
+
 def test_warm_reset_returns_same_object():
     model = SwiftSimModel(BASE)
     model.run()
